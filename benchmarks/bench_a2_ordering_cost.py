@@ -1,0 +1,77 @@
+"""A2 (ablation) — what each ordering guarantee costs.
+
+ISIS programmers choose the weakest ordering that is correct (fbcast <
+cbcast < abcast).  This ablation measures, in a group of 8: logical
+messages per multicast and mean delivery latency for each discipline.
+abcast pays an extra sequencer round (the SetOrder multicast) — roughly
+double the messages and an extra hop of latency.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.membership import CAUSAL, FIFO, TOTAL, build_group
+from repro.metrics import LatencySample, print_table
+from repro.net import FixedLatency
+from repro.proc import Environment
+
+GROUP = 8
+ROUNDS = 20
+
+
+def run_one(ordering: str):
+    env = Environment(seed=7, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", GROUP, gossip_interval=None)
+    latency = LatencySample()
+    sent_at = {}
+
+    def listener(event):
+        key = event.payload["k"]
+        latency.add(env.now - sent_at[key])
+
+    for m in members:
+        m.add_delivery_listener(listener)
+    env.run_for(0.5)
+    before = env.stats_snapshot()
+    for i in range(ROUNDS):
+        key = f"m{i}"
+        sent_at[key] = env.now
+        members[i % GROUP].multicast({"k": key}, ordering)
+        env.run_for(0.2)
+    env.run_for(2.0)
+    delta = env.stats_since(before)
+    data = delta.by_category.get("group-data", 0)
+    orders = delta.by_category.get("group-setorder", 0)
+    per_cast = (data + orders) / ROUNDS
+    assert latency.count == ROUNDS * GROUP
+    return per_cast, latency.mean * 1000
+
+
+def run_experiment():
+    rows = []
+    measured = {}
+    for name, ordering in (("fbcast", FIFO), ("cbcast", CAUSAL), ("abcast", TOTAL)):
+        per_cast, mean_ms = run_one(ordering)
+        measured[name] = (per_cast, mean_ms)
+        rows.append((name, round(per_cast, 2), round(mean_ms, 2)))
+    # fbcast and cbcast cost one send per destination; abcast adds the
+    # sequencer's SetOrder multicast
+    assert measured["fbcast"][0] == GROUP - 1
+    assert measured["cbcast"][0] == GROUP - 1
+    assert measured["abcast"][0] > measured["fbcast"][0] * 1.5
+    # abcast delivery waits for the order -> higher latency
+    assert measured["abcast"][1] > measured["fbcast"][1]
+    return rows
+
+
+def test_a2_ordering_cost(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"A2: ordering cost in a group of {GROUP}",
+        ["protocol", "messages / multicast", "mean delivery latency (ms)"],
+        rows,
+        note="use the weakest sufficient ordering: abcast pays a sequencer "
+        "round on every multicast",
+    )

@@ -1,0 +1,85 @@
+"""A5 (ablation) — market-wide vs symbol-partitioned dissemination.
+
+Two ways to move feed data through the trading room: the tree broadcast
+(every analyst gets every event — right for market-wide news) versus
+symbol partitioning across leaves (each tick reaches one leaf — right for
+per-symbol detail).  We measure deliveries per tick as the room grows:
+broadcast grows linearly with the room, partitioned stays at the leaf
+size.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.metrics import print_table
+from repro.workloads import SymbolPartitionedTrading, TradingRoomWorkload
+
+SIZES = (24, 48, 96)
+
+
+def run_broadcast(analysts: int):
+    workload = TradingRoomWorkload(
+        analysts=analysts,
+        feeds=2,
+        tick_rate=2.0,
+        seed=analysts,
+        resiliency=2,
+        fanout=4,
+    )
+    result = workload.run(duration=4.0, query_clients=1)
+    assert result.events_published > 0
+    return result.events_delivered / result.events_published, result.latency.p99
+
+
+def run_partitioned(analysts: int):
+    workload = SymbolPartitionedTrading(
+        analysts=analysts,
+        feeds=2,
+        tick_rate=2.0,
+        seed=analysts,
+        resiliency=2,
+        fanout=4,
+    )
+    result = workload.run(duration=4.0)
+    assert result.events_published > 0
+    bound = workload.cluster.params.leaf_split_threshold
+    return (
+        result.events_delivered / result.events_published,
+        result.latency.p99,
+        bound,
+    )
+
+
+def run_experiment():
+    rows = []
+    partitioned_series = []
+    for analysts in SIZES:
+        broadcast_per_tick, broadcast_p99 = run_broadcast(analysts)
+        part_per_tick, part_p99, bound = run_partitioned(analysts)
+        partitioned_series.append(part_per_tick)
+        rows.append(
+            (
+                analysts,
+                round(broadcast_per_tick, 1),
+                round(part_per_tick, 1),
+                bound,
+            )
+        )
+        # broadcast reaches everyone; partitioned stays within one leaf
+        assert broadcast_per_tick == analysts
+        assert part_per_tick <= bound
+    assert max(partitioned_series) <= min(partitioned_series) * 2 + 2
+    return rows
+
+
+def test_a5_dissemination_modes(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "A5: deliveries per feed tick, market-wide vs symbol-partitioned",
+        ["analysts", "treecast (all)", "partitioned (owner leaf)", "leaf bound"],
+        rows,
+        note="use the tree broadcast for room-wide events, symbol "
+        "partitioning for per-symbol volume — both costs are by design",
+    )

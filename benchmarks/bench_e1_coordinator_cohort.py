@@ -1,0 +1,47 @@
+"""E1 — "a service request will involve 2n messages" (paper §2).
+
+One coordinator-cohort request against a flat group of n members costs
+exactly n request messages + 1 reply + (n-1) result copies = 2n data
+messages, and all n members process it.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import CC_CATEGORIES, flat_service
+
+from repro.metrics import data_messages, print_table
+
+SIZES = (3, 5, 10, 20, 30, 50)
+
+
+def run_experiment():
+    rows = []
+    for n in SIZES:
+        env, nodes, members, servers, client = flat_service(n)
+        env.run_for(1.0)
+        before = env.stats_snapshot()
+        done = []
+        client.request({"op": "quote"}, done.append)
+        env.run_for(3.0)
+        delta = env.stats_since(before)
+        messages = data_messages(delta, CC_CATEGORIES)
+        touched = sum(
+            1 for addr in delta.received_by if addr.startswith("svc-")
+        )
+        rows.append((n, messages, 2 * n, touched))
+        assert done, f"request against n={n} unanswered"
+        assert messages == 2 * n, f"n={n}: counted {messages} messages"
+        assert touched == n, "every member processes the request"
+    return rows
+
+
+def test_e1_messages_per_request(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E1: coordinator-cohort request cost on a flat group",
+        ["n (group size)", "messages measured", "paper: 2n", "members touched"],
+        rows,
+        note="request = n in + 1 reply + (n-1) result copies; matches 2n exactly",
+    )

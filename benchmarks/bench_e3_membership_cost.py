@@ -1,0 +1,78 @@
+"""E3 — "Upon group membership changes, including the failure of a group
+member, a broadcast is sent to the new membership of the group ... As
+group size increases the probability of one of the members failing
+increases, and with it the cost of processing membership change
+broadcasts." (paper §2)
+
+We crash one member and count the membership-protocol messages (flush,
+flush-ok, new-view, suspect reports) the failure triggers.  Flat: the
+whole group flushes — Θ(n).  Hierarchical: only the victim's leaf flushes,
+plus a bounded report to the leader — O(leaf size).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import MEMBERSHIP_CATEGORIES, flat_service, hierarchical_service
+
+from repro.metrics import data_messages, print_table
+
+SIZES = (8, 16, 32, 64)
+
+
+def run_flat(n: int) -> int:
+    env, nodes, members, servers, client = flat_service(n, seed=n)
+    env.run_for(1.0)
+    before = env.stats_snapshot()
+    nodes[n // 2].crash()
+    env.run_for(5.0)
+    delta = env.stats_since(before)
+    assert members[0].view.size == n - 1
+    return data_messages(delta, MEMBERSHIP_CATEGORIES)
+
+
+def run_hierarchical(n: int) -> int:
+    env, params, leaders, members, servers, _p, _r = hierarchical_service(
+        n, resiliency=2, fanout=4, seed=n
+    )
+    env.run_for(1.0)
+    victim = members[n // 2]
+    peers_before = victim.leaf_size
+    before = env.stats_snapshot()
+    victim.node.crash()
+    env.run_for(5.0)
+    delta = env.stats_since(before)
+    # hierarchy-op replication inside the leader group also counts as
+    # membership-change cost (it is how the leader learns).
+    cost = data_messages(delta, MEMBERSHIP_CATEGORIES) + delta.by_category.get(
+        "group-data", 0
+    )
+    assert peers_before >= 2
+    return cost
+
+
+def run_experiment():
+    rows = []
+    flat_series, hier_series = [], []
+    for n in SIZES:
+        flat = run_flat(n)
+        hier = run_hierarchical(n)
+        flat_series.append(flat)
+        hier_series.append(hier)
+        rows.append((n, flat, hier))
+    # flat cost grows with n; hierarchical cost stays bounded
+    assert flat_series[-1] > flat_series[0] * 3
+    assert hier_series[-1] <= hier_series[0] * 3
+    assert hier_series[-1] < flat_series[-1] / 2
+    return rows
+
+
+def test_e3_membership_change_cost(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E3: messages triggered by one member failure",
+        ["total members n", "flat group msgs", "hierarchical msgs"],
+        rows,
+        note="flat flush touches all n; hierarchical touches one leaf + leader",
+    )

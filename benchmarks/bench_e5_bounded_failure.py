@@ -1,0 +1,72 @@
+"""E5 — "any single process failure results in a broadcast to a bounded
+number of other processes" (paper §3).
+
+We kill one member and count how many *distinct processes* receive any
+message as a consequence.  Flat groups disturb all n-1 survivors; in a
+hierarchical group only the victim's leaf-mates plus the leader subgroup
+hear about it, a bound independent of n.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import flat_service, hierarchical_service
+
+from repro.metrics import print_table
+
+SIZES = (16, 32, 64, 128, 256)
+
+
+def run_flat(n: int) -> int:
+    env, nodes, members, servers, client = flat_service(n, seed=n)
+    env.run_for(1.0)
+    before = env.stats_snapshot()
+    nodes[n // 2].crash()
+    env.run_for(5.0)
+    delta = env.stats_since(before)
+    return sum(1 for count in delta.received_by.values() if count > 0)
+
+
+def run_hier(n: int):
+    env, params, leaders, members, servers, _p, _r = hierarchical_service(
+        n, resiliency=2, fanout=4, seed=n, settle=5.0 + 0.3 * n
+    )
+    env.run_for(1.0)
+    victim = members[n // 2]
+    leaf_size = victim.leaf_size
+    before = env.stats_snapshot()
+    victim.node.crash()
+    env.run_for(5.0)
+    delta = env.stats_since(before)
+    touched = sum(1 for count in delta.received_by.values() if count > 0)
+    bound = params.leaf_split_threshold + params.leader_group_size
+    return touched, leaf_size, bound
+
+
+def run_experiment():
+    rows = []
+    flat_touched_series, hier_touched_series = [], []
+    for n in SIZES:
+        flat_touched = run_flat(n)
+        hier_touched, leaf_size, bound = run_hier(n)
+        flat_touched_series.append(flat_touched)
+        hier_touched_series.append(hier_touched)
+        rows.append((n, flat_touched, hier_touched, bound))
+        assert hier_touched <= bound + 2, (
+            f"n={n}: {hier_touched} processes disturbed, bound {bound}"
+        )
+    assert flat_touched_series[-1] >= SIZES[-1] - 2  # flat disturbs ~everyone
+    # hierarchical disturbance does not grow with n
+    assert max(hier_touched_series) <= min(hier_touched_series) + 6
+    return rows
+
+
+def test_e5_failure_disturbance_bounded(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E5: processes receiving any message after one member failure",
+        ["n", "flat: processes touched", "hier: processes touched", "hier bound"],
+        rows,
+        note="hier bound = leaf split threshold + leader subgroup size",
+    )

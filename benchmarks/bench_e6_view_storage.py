@@ -1,0 +1,76 @@
+"""E6 — "a complete list of the processes in a large group is not
+explicitly stored anywhere, bounding the storage required within any
+single process for storing a group view" (paper §3).
+
+We measure, per process, the largest membership list it stores:
+
+* flat — every member stores the full n-entry view;
+* hierarchical worker — only its leaf's view (bounded by the split
+  threshold);
+* hierarchical leader replica — bounded per-leaf summaries (id + up to
+  ``resiliency`` contacts) and branch child-lists of at most ``fanout``
+  entries; its largest single view is max(leader view, fanout, leaf
+  summary), also bounded.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import flat_service, hierarchical_service, manager_of
+
+from repro.metrics import print_table
+
+SIZES = (16, 32, 64, 128, 256)
+
+
+def run_flat(n: int) -> int:
+    env, nodes, members, servers, client = flat_service(n, seed=n)
+    return max(m.view.size for m in members)
+
+
+def run_hier(n: int):
+    env, params, leaders, members, servers, _p, _r = hierarchical_service(
+        n, resiliency=2, fanout=4, seed=n, settle=5.0 + 0.3 * n
+    )
+    worker_view = max(m.leaf_size for m in members if m.is_member)
+    manager = manager_of(leaders)
+    state = manager.state
+    # the largest single "view object" any process stores in the hierarchy
+    largest_view = max(
+        worker_view,
+        state.max_branch_children(),
+        manager.member.view.size,
+        max((len(l.contacts) for l in state.leaves.values()), default=0),
+    )
+    per_leaf_summary = max(
+        (2 + len(l.contacts) for l in state.leaves.values()), default=0
+    )
+    return worker_view, largest_view, per_leaf_summary
+
+
+def run_experiment():
+    rows = []
+    worker_series = []
+    for n in SIZES:
+        flat_view = run_flat(n)
+        worker_view, largest_view, per_leaf = run_hier(n)
+        worker_series.append(worker_view)
+        rows.append((n, flat_view, worker_view, largest_view))
+        assert flat_view == n
+        assert worker_view <= 8  # split threshold for r=2, f=4
+        assert largest_view <= 8
+    # bounded regardless of n
+    assert max(worker_series) == worker_series[0] or max(worker_series) <= 8
+    return rows
+
+
+def test_e6_view_storage_bounded(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E6: largest membership list stored at any single process",
+        ["n", "flat view entries", "hier worker view", "hier largest view"],
+        rows,
+        note="flat = n everywhere; hierarchy bounds every stored view by "
+        "max(leaf threshold, fanout, resiliency)",
+    )

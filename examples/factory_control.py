@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Manufacturing control: the paper's second motivating application.
+
+120 work cells run as a hierarchical large group; a resilient inventory
+group replicates stock levels with totally ordered updates; production
+orders flow through the hierarchical coordinator-cohort service; and a
+factory-wide shift change is pushed with the *atomic* tree broadcast so
+every live cell switches recipe at once.
+
+Run:  python examples/factory_control.py
+"""
+
+from repro.metrics import print_table
+from repro.workloads import ManufacturingWorkload
+
+
+def main() -> None:
+    print("building a 120-cell factory (hierarchical groups + replicated inventory)...")
+    workload = ManufacturingWorkload(
+        cells=120,
+        inventory_replicas=3,
+        status_rate=0.4,
+        order_rate=6.0,
+        seed=21,
+        resiliency=3,
+        fanout=8,
+    )
+    state = workload.cluster.manager_root.replica.state
+    print(
+        f"  {state.total_size} cells in {len(state.leaves)} leaf subgroups, "
+        f"inventory replicated at {len(workload.inventory)} control stations"
+    )
+
+    result = workload.run(duration=8.0, dispatch_clients=3, reconfigure_at=3.0)
+
+    snapshots = [tuple(sorted(d.snapshot().items())) for d in workload.inventory]
+    consistent = len(set(snapshots)) == 1
+    live = [m.node.address for m in workload.cluster.live_members()]
+    recipes_ok = all(workload.recipes_applied.get(a) == [1] for a in live)
+
+    print_table(
+        "factory results",
+        ["metric", "value"],
+        [
+            ("cells online", int(result.extra["cells"])),
+            ("cell status reports (leaf-local)", result.events_published),
+            ("orders completed",
+             f"{result.requests_answered}/{result.requests_sent}"),
+            ("order p99 latency (ms)",
+             round(result.request_latency.p99 * 1000, 2)),
+            ("inventory replicas consistent", "yes" if consistent else "NO"),
+            ("shift change applied atomically", "yes" if recipes_ok else "NO"),
+        ],
+        note="consistency from abcast replication; atomicity from the "
+        "two-phase tree broadcast",
+    )
+    assert consistent and recipes_ok
+
+    print("\nfinal stock levels:")
+    for part, level in sorted(workload.inventory[0].snapshot().items()):
+        print(f"  {part:>6}: {level}")
+
+
+if __name__ == "__main__":
+    main()

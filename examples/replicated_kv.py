@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A fault-tolerant key-value store in ~60 lines of application code.
+
+Shows the toolkit composing: a replicated dict (abcast state machine),
+distributed mutual exclusion for a read-modify-write, state transfer to a
+late joiner, and a two-resource distributed transaction — all surviving a
+replica crash.
+
+Run:  python examples/replicated_kv.py
+"""
+
+from repro import Environment, GroupNode, build_group
+from repro.toolkit import (
+    DistributedMutex,
+    ReplicatedDict,
+    TransactionCoordinator,
+    TransactionResource,
+)
+
+
+def main() -> None:
+    env = Environment(seed=5)
+
+    print("== a replicated dict over a group of three ==")
+    nodes, members = build_group(env, "kv", 3)
+    replicas = [ReplicatedDict(m, "kv") for m in members]
+    replicas[0].put("motd", "hello, 1989")
+    replicas[1].put("users", 42)
+    env.run_for(1.0)
+    for replica, member in zip(replicas, members):
+        print(f"  {member.me}: motd={replica.get('motd')!r} users={replica.get('users')}")
+
+    print("\n== read-modify-write under a distributed lock ==")
+    locks = [DistributedMutex(m, "users-lock") for m in members]
+
+    def bump(owner_index: int) -> None:
+        lock, replica = locks[owner_index], replicas[owner_index]
+
+        def critical_section() -> None:
+            current = replica.get("users")
+            replica.put("users", current + 1)
+            # release after the update has been ordered
+            env.scheduler.after(0.1, lock.release)
+
+        lock.acquire(critical_section)
+
+    bump(0)
+    bump(2)  # queued behind the first holder; no lost update
+    env.run_for(3.0)
+    print(f"  users after two locked increments: {replicas[1].get('users')}")
+    assert replicas[1].get("users") == 44
+
+    print("\n== replica crash, then a late joiner with state transfer ==")
+    nodes[0].crash()
+    env.run_for(3.0)
+    joiner = GroupNode(env, "kv-new")
+    joined_member = joiner.runtime.join_group("kv", contact="kv-1")
+    joined_dict = ReplicatedDict(joined_member, "kv")
+    env.run_for(5.0)
+    print(
+        f"  joiner sees motd={joined_dict.get('motd')!r}, "
+        f"users={joined_dict.get('users')} (transferred, not replayed)"
+    )
+    assert joined_dict.get("users") == 44
+
+    print("\n== a distributed transaction across two resource groups ==")
+    a_nodes, a_members = build_group(env, "accounts", 3, prefix="acct")
+    s_nodes, s_members = build_group(env, "stocks", 3, prefix="stk")
+    accounts = [TransactionResource(m, "accounts") for m in a_members]
+    stocks = [TransactionResource(m, "stocks") for m in s_members]
+    txc_node = GroupNode(env, "txc")
+    txc = TransactionCoordinator(txc_node, rpc=txc_node.runtime.rpc)
+    outcome = []
+    txc.execute(
+        {"acct-0": [("alice", -100)], "stk-0": [("alice:IBM", 2)]},
+        on_done=outcome.append,
+    )
+    env.run_for(5.0)
+    print(
+        f"  transaction committed: {outcome[0]}; "
+        f"alice balance delta={accounts[1].get('alice')}, "
+        f"alice IBM shares={stocks[2].get('alice:IBM')}"
+    )
+    assert outcome == [True]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — hierarchical process groups for large-scale applications on
+networks of workstations.
+
+A from-scratch Python reproduction of Cooper & Birman (1989): the
+virtually synchronous process-group substrate of ISIS (views, fbcast /
+cbcast / abcast, the toolkit) plus the paper's contribution — large groups
+organised as bounded leaf subgroups under a resilient group leader, with
+tree-structured atomic broadcast — all running on a deterministic
+discrete-event network simulator.
+
+Quickstart::
+
+    from repro import Environment, build_group, FIFO
+
+    env = Environment(seed=1)
+    nodes, members = build_group(env, "svc", 5)
+    members[0].add_delivery_listener(lambda e: print("got", e.payload))
+    members[2].multicast("hello", FIFO)
+    env.run_for(1.0)
+
+See ``examples/`` for the full tour and ``DESIGN.md`` for the system map.
+"""
+
+from repro.core.params import LargeGroupParams
+from repro.membership.events import CAUSAL, FIFO, TOTAL
+from repro.membership.service import GroupNode, build_group, build_nodes
+from repro.net.latency import FixedLatency, LanLatency, UniformLatency
+from repro.proc.env import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CAUSAL",
+    "Environment",
+    "FIFO",
+    "FixedLatency",
+    "GroupNode",
+    "LanLatency",
+    "LargeGroupParams",
+    "TOTAL",
+    "UniformLatency",
+    "build_group",
+    "build_nodes",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""ISIS broadcast protocols: fbcast (FIFO), cbcast (causal), abcast (total).
+
+GBCAST — the ordering of view installations relative to all other events —
+is realised by the flush protocol in :mod:`repro.membership.flush` rather
+than a standalone primitive: a view change blocks new multicasts, reconciles
+unstable ones, and installs the view at a common point in every survivor's
+delivery sequence, which is exactly the gbcast guarantee.
+"""
+
+from repro.broadcast.abcast import TotalEngine, merge_flush_orders
+from repro.broadcast.base import OrderingEngine
+from repro.broadcast.cbcast import CausalEngine, causal_sort_key
+from repro.broadcast.fbcast import FifoEngine
+from repro.broadcast.stability import StabilityTracker
+
+__all__ = [
+    "CausalEngine",
+    "FifoEngine",
+    "OrderingEngine",
+    "StabilityTracker",
+    "TotalEngine",
+    "causal_sort_key",
+    "merge_flush_orders",
+]

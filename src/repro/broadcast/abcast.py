@@ -1,0 +1,143 @@
+"""abcast: totally ordered group multicast via a ranked sequencer.
+
+The rank-0 member of the current view is the *sequencer*.  Everyone sends
+``total``-ordered data normally; on delivery of each such message (including
+its own) the sequencer multicasts a :class:`~repro.membership.events.
+SetOrder` assigning the next global sequence number.  Receivers hold total
+data until both the data *and* its order are known, then deliver strictly
+in global-sequence order — so every member delivers the same totally
+ordered stream.
+
+On a view change the flush reconciles: order assignments known anywhere
+survive; flushed-but-unordered data is assigned a deterministic order by
+the view-change coordinator (sorted by message id), so survivors still
+agree.  The next view's sequencer starts from the agreed next global seq.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.broadcast.base import OrderingEngine
+from repro.membership.events import GroupData, MessageId, SetOrder
+from repro.membership.view import GroupView
+from repro.net.message import Address
+
+
+class TotalEngine(OrderingEngine):
+    """Receiver-side (and sequencer-side) abcast state for one view."""
+
+    def __init__(self, view: GroupView, me: Address, next_global_seq: int = 1) -> None:
+        super().__init__(view, me)
+        self.is_sequencer = view.coordinator == me
+        self._next_assign = next_global_seq  # sequencer only
+        self._next_deliver = next_global_seq
+        self._order: Dict[int, MessageId] = {}
+        # Every assignment seen this view, delivered or not: flush must be
+        # able to report orders for already-delivered messages, otherwise a
+        # member that missed the SetOrder could be given a conflicting
+        # order at the view change.
+        self._history: Dict[int, MessageId] = {}
+        self._pending: Dict[MessageId, GroupData] = {}
+        self._delivered_ids: set = set()
+
+    # -- sequencer side ----------------------------------------------------------
+
+    def assign_order(self, data: GroupData) -> Optional[SetOrder]:
+        """Called at the sequencer for each total-order message it receives
+        (or sends); returns the SetOrder to multicast, or None if this
+        member is not the sequencer."""
+        if not self.is_sequencer:
+            return None
+        order = SetOrder(
+            group=self.view.group,
+            view_seq=self.view.seq,
+            orders=[(self._next_assign, data.message_id)],
+        )
+        self._history[self._next_assign] = data.message_id
+        self._next_assign += 1
+        return order
+
+    # -- every member ----------------------------------------------------------
+
+    def stamp_outgoing(self, data: GroupData) -> None:
+        pass  # order comes from the sequencer, not the sender
+
+    def on_receive(self, data: GroupData) -> List[GroupData]:
+        if data.message_id not in self._delivered_ids:
+            self._pending.setdefault(data.message_id, data)
+        return self._drain()
+
+    def on_set_order(self, set_order: SetOrder) -> List[GroupData]:
+        for global_seq, message_id in set_order.orders:
+            self._order.setdefault(global_seq, message_id)
+            self._history.setdefault(global_seq, message_id)
+        return self._drain()
+
+    def _drain(self) -> List[GroupData]:
+        ready: List[GroupData] = []
+        while True:
+            message_id = self._order.get(self._next_deliver)
+            if message_id is None or message_id not in self._pending:
+                break
+            ready.append(self._pending.pop(message_id))
+            self._delivered_ids.add(message_id)
+            del self._order[self._next_deliver]
+            self._next_deliver += 1
+        return ready
+
+    def held(self) -> List[GroupData]:
+        return list(self._pending.values())
+
+    # -- flush support ----------------------------------------------------------
+
+    def known_orders(self) -> List[Tuple[int, MessageId]]:
+        """Every order assignment seen this view (delivered or not)."""
+        return sorted(self._history.items())
+
+    @property
+    def next_global_seq(self) -> int:
+        """Highest frontier this member knows: orders seen or assigned."""
+        frontier = self._next_deliver
+        if self._history:
+            frontier = max(frontier, max(self._history) + 1)
+        if self.is_sequencer:
+            frontier = max(frontier, self._next_assign)
+        return frontier
+
+
+def merge_flush_orders(
+    reports: List[Tuple[List[Tuple[int, MessageId]], int]],
+    unordered: List[GroupData],
+) -> Tuple[List[Tuple[int, MessageId]], int]:
+    """Coordinator-side reconciliation of abcast state at a view change.
+
+    ``reports`` is [(known_orders, next_global_seq)] from each flushing
+    member; ``unordered`` is flushed total-order data with no known order.
+    Returns the final (orders, next_global_seq): surviving assignments are
+    kept, unordered messages get deterministic positions after the highest
+    known frontier (sorted by message id), so all survivors deliver the
+    same total order.
+    """
+    merged: Dict[int, MessageId] = {}
+    frontier = 1
+    for known, next_seq in reports:
+        frontier = max(frontier, next_seq)
+        for global_seq, message_id in known:
+            existing = merged.get(global_seq)
+            if existing is not None and existing != message_id:
+                raise AssertionError(
+                    f"sequencer safety violated: seq {global_seq} -> "
+                    f"{existing} and {message_id}"
+                )
+            merged[global_seq] = message_id
+    assigned_ids = set(merged.values())
+    for data in sorted(unordered, key=lambda d: d.message_id):
+        if data.message_id in assigned_ids:
+            continue
+        merged[frontier] = data.message_id
+        assigned_ids.add(data.message_id)
+        frontier += 1
+    if merged:
+        frontier = max(frontier, max(merged) + 1)
+    return sorted(merged.items()), frontier

@@ -1,0 +1,37 @@
+"""Ordering-engine interface shared by fbcast / cbcast / abcast.
+
+A :class:`~repro.membership.group.GroupMember` owns one engine instance per
+ordering per installed view.  The engine decides *when* a received
+``GroupData`` may be handed to the application; the membership layer decides
+*whether* (view tagging, duplicate suppression, flush reconciliation).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+from repro.membership.events import GroupData
+from repro.membership.view import GroupView
+from repro.net.message import Address
+
+
+class OrderingEngine(ABC):
+    """Per-view delivery-order state machine for one ordering discipline."""
+
+    def __init__(self, view: GroupView, me: Address) -> None:
+        self.view = view
+        self.me = me
+
+    @abstractmethod
+    def stamp_outgoing(self, data: GroupData) -> None:
+        """Attach ordering metadata to a multicast about to be sent."""
+
+    @abstractmethod
+    def on_receive(self, data: GroupData) -> List[GroupData]:
+        """Feed a received multicast; return messages now deliverable, in
+        delivery order (possibly empty, possibly several)."""
+
+    def held(self) -> List[GroupData]:
+        """Messages received but not yet deliverable (for flush reporting)."""
+        return []

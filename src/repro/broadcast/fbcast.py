@@ -1,0 +1,23 @@
+"""fbcast: FIFO-ordered group multicast.
+
+The cheapest ISIS ordering.  Per-sender FIFO already holds on the reliable
+transport's channels, and sender sequence numbers are contiguous per view,
+so a received message is deliverable immediately.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.broadcast.base import OrderingEngine
+from repro.membership.events import GroupData
+
+
+class FifoEngine(OrderingEngine):
+    """Deliver on receipt; FIFO is guaranteed by the channel below."""
+
+    def stamp_outgoing(self, data: GroupData) -> None:
+        pass  # sender_seq set by the membership layer is all FIFO needs
+
+    def on_receive(self, data: GroupData) -> List[GroupData]:
+        return [data]

@@ -1,0 +1,89 @@
+"""Message stability tracking.
+
+A multicast is *stable* once every member of the view has delivered it;
+stable messages can never need retransmission at a view change, so members
+may discard them.  Each member keeps, per view:
+
+* ``delivered[s]`` — the highest (contiguous, thanks to FIFO channels)
+  sender-sequence it has received from each sender ``s``;
+* a log of the messages above the group-wide stable floor;
+* its peers' reported watermarks, refreshed by periodic
+  :class:`~repro.membership.events.StabilityGossip`.
+
+The unstable suffix (everything above the floor) is exactly what the flush
+protocol must reconcile — keeping it small is what makes view changes
+cheap, and is why the paper worries about the cost of "ever larger
+broadcasts" in big flat groups: the gossip is all-to-all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.membership.events import GroupData
+from repro.net.message import Address
+
+
+class StabilityTracker:
+    """Per-view unstable-message log and watermark bookkeeping."""
+
+    def __init__(self, me: Address, members: Iterable[Address]) -> None:
+        self._me = me
+        self._members = tuple(members)
+        self._delivered: Dict[Address, int] = {m: 0 for m in self._members}
+        self._peer_view: Dict[Address, Dict[Address, int]] = {
+            m: {s: 0 for s in self._members} for m in self._members
+        }
+        self._log: Dict[Address, Dict[int, GroupData]] = {
+            m: {} for m in self._members
+        }
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, data: GroupData) -> None:
+        """Record a message this member has received (or sent: senders
+        record their own multicasts so in-flight copies survive a flush)."""
+        sender = data.sender
+        if sender not in self._delivered:
+            return  # departed sender; flush handles its fate
+        if data.sender_seq > self._delivered[sender]:
+            self._delivered[sender] = data.sender_seq
+        self._log[sender][data.sender_seq] = data
+        self._peer_view[self._me] = dict(self._delivered)
+
+    def watermarks(self) -> Dict[Address, int]:
+        return dict(self._delivered)
+
+    def on_gossip(self, peer: Address, delivered: Dict[Address, int]) -> None:
+        if peer not in self._peer_view:
+            return
+        mine = self._peer_view[peer]
+        for sender, seq in delivered.items():
+            if sender in mine and seq > mine[sender]:
+                mine[sender] = seq
+        self._truncate()
+
+    # -- queries ----------------------------------------------------------------
+
+    def stable_floor(self, sender: Address) -> int:
+        """Highest seq from ``sender`` known delivered by *every* member."""
+        return min(view.get(sender, 0) for view in self._peer_view.values())
+
+    def unstable(self) -> List[GroupData]:
+        """All logged messages above the stable floor (flush payload)."""
+        out: List[GroupData] = []
+        for sender, entries in self._log.items():
+            floor = self.stable_floor(sender)
+            out.extend(
+                data for seq, data in sorted(entries.items()) if seq > floor
+            )
+        return out
+
+    def log_size(self) -> int:
+        return sum(len(entries) for entries in self._log.values())
+
+    def _truncate(self) -> None:
+        for sender, entries in self._log.items():
+            floor = self.stable_floor(sender)
+            for seq in [s for s in entries if s <= floor]:
+                del entries[seq]

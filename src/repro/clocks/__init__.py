@@ -1,0 +1,7 @@
+"""Logical clocks: Lamport stamps, vector clocks, causal delivery buffer."""
+
+from repro.clocks.causal_buffer import CausalBuffer
+from repro.clocks.lamport import LamportClock, LamportStamp
+from repro.clocks.vector import VectorClock
+
+__all__ = ["CausalBuffer", "LamportClock", "LamportStamp", "VectorClock"]

@@ -1,0 +1,89 @@
+"""Causal delivery buffer (Birman–Schiper–Stephenson discipline).
+
+Holds received broadcasts until their causal predecessors have been
+delivered.  A message m from sender q with vector timestamp VT(m) is
+deliverable at a process whose delivered-vector is D when::
+
+    VT(m)[q] == D[q] + 1                 (next message from q)
+    VT(m)[k] <= D[k]   for all k != q    (all of q's context already seen)
+
+Delivering m sets D := merge(D, VT(m)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List
+
+from repro.clocks.vector import VectorClock
+
+
+@dataclass
+class _Held:
+    sender: str
+    stamp: VectorClock
+    payload: Any
+
+
+class CausalBuffer:
+    """Reorders incoming vector-stamped messages into causal order."""
+
+    def __init__(self) -> None:
+        self._delivered = VectorClock.zero()
+        self._held: List[_Held] = []
+
+    @property
+    def delivered_clock(self) -> VectorClock:
+        return self._delivered
+
+    @property
+    def held_count(self) -> int:
+        return len(self._held)
+
+    def held_payloads(self) -> List[Any]:
+        """Payloads received but not yet deliverable (arrival order)."""
+        return [h.payload for h in self._held]
+
+    def deliverable(self, sender: str, stamp: VectorClock) -> bool:
+        if stamp.get(sender) != self._delivered.get(sender) + 1:
+            return False
+        return all(
+            count <= self._delivered.get(site)
+            for site, count in stamp.items()
+            if site != sender
+        )
+
+    def add(self, sender: str, stamp: VectorClock, payload: Any) -> List[Any]:
+        """Insert a received message; return the payloads (possibly several,
+        possibly none) that become deliverable, in causal order."""
+        self._held.append(_Held(sender, stamp, payload))
+        return self._drain()
+
+    def _drain(self) -> List[Any]:
+        released: List[Any] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for index, held in enumerate(self._held):
+                if self.deliverable(held.sender, held.stamp):
+                    self._delivered = self._delivered.merged(held.stamp)
+                    released.append(held.payload)
+                    del self._held[index]
+                    progressed = True
+                    break
+        return released
+
+    def reset_to(self, clock: VectorClock, sites: Iterable[str]) -> List[Any]:
+        """Restart causal tracking at a view change.
+
+        The delivered vector is replaced by ``clock`` restricted to the new
+        membership, and any held messages from departed senders are dropped
+        (they were never deliverable; virtual synchrony handles their fate
+        via the flush protocol, not here).  Returns dropped payloads for
+        diagnostics.
+        """
+        keep = set(sites)
+        dropped = [h.payload for h in self._held if h.sender not in keep]
+        self._held = [h for h in self._held if h.sender in keep]
+        self._delivered = clock.restricted(keep)
+        return dropped

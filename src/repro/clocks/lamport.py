@@ -1,0 +1,47 @@
+"""Lamport logical clocks.
+
+Used for tie-breaking and for generating totally ordered identifiers (e.g.
+view ids) that respect causality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+class LamportClock:
+    """A scalar logical clock (Lamport 1978)."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock must start nonnegative")
+        self._time = start
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    def tick(self) -> int:
+        """Advance for a local or send event; returns the new time."""
+        self._time += 1
+        return self._time
+
+    def observe(self, other_time: int) -> int:
+        """Merge a received timestamp; returns the new local time."""
+        self._time = max(self._time, other_time) + 1
+        return self._time
+
+
+@total_ordering
+@dataclass(frozen=True)
+class LamportStamp:
+    """A (time, site) pair: a total order consistent with causality."""
+
+    time: int
+    site: str
+
+    def __lt__(self, other: "LamportStamp") -> bool:
+        if not isinstance(other, LamportStamp):
+            return NotImplemented
+        return (self.time, self.site) < (other.time, other.site)

@@ -1,0 +1,79 @@
+"""Vector clocks keyed by process address.
+
+CBCAST tags each broadcast with the sender's vector timestamp; receivers
+delay delivery until every causal predecessor has been delivered.  Keys are
+addresses (not dense indices) so membership can change without renumbering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class VectorClock:
+    """An immutable-by-convention mapping address -> event count."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[str, int] = ()) -> None:
+        self._counts: Dict[str, int] = {
+            k: v for k, v in dict(counts).items() if v > 0
+        }
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "VectorClock":
+        return cls()
+
+    def incremented(self, site: str) -> "VectorClock":
+        counts = dict(self._counts)
+        counts[site] = counts.get(site, 0) + 1
+        return VectorClock(counts)
+
+    def merged(self, other: "VectorClock") -> "VectorClock":
+        """Componentwise max: the least upper bound of the two clocks."""
+        counts = dict(self._counts)
+        for site, count in other._counts.items():
+            if count > counts.get(site, 0):
+                counts[site] = count
+        return VectorClock(counts)
+
+    def restricted(self, sites: Iterable[str]) -> "VectorClock":
+        """Projection onto a site subset (used at view changes)."""
+        keep = set(sites)
+        return VectorClock({s: c for s, c in self._counts.items() if s in keep})
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, site: str) -> int:
+        return self._counts.get(site, 0)
+
+    def sites(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._counts.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __le__(self, other: "VectorClock") -> bool:
+        """Componentwise <=: 'happened before or equal'."""
+        return all(count <= other.get(site) for site, count in self._counts.items())
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        """Strictly happened-before."""
+        return self <= other and self != other
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self <= other and not other <= self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{s}:{c}" for s, c in sorted(self._counts.items()))
+        return f"VC({inner})"

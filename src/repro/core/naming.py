@@ -1,0 +1,138 @@
+"""Group name-to-address mapping (paper §5: "group name-to-address mapping
+in the large scale setting").
+
+A small replicated directory: service names map to the contact addresses
+of the service's leader subgroup.  Clients resolve once and cache; the
+leader manager re-registers whenever its own membership changes, so stale
+entries heal.  The directory itself is replicated across its server
+processes with primary/backup forwarding (lookups can go to any replica).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.message import Address
+from repro.proc.process import Process
+from repro.proc.rpc import Rpc, RpcError
+
+
+@dataclass
+class RegisterName:
+    name: str
+    contacts: Tuple[Address, ...]
+
+
+@dataclass
+class UnregisterName:
+    name: str
+
+
+@dataclass
+class LookupName:
+    name: str
+
+
+@dataclass
+class ReplicateEntry:
+    category = "name-replicate"
+    name: str
+    contacts: Optional[Tuple[Address, ...]]  # None means removed
+
+
+class NameServer(Process):
+    """One replica of the name directory."""
+
+    def __init__(self, env, address: Address, peers: Tuple[Address, ...] = ()) -> None:
+        super().__init__(env, address)
+        self.peers = tuple(p for p in peers if p != address)
+        self.rpc = Rpc(self)
+        self._directory: Dict[str, Tuple[Address, ...]] = {}
+        self.rpc.serve(RegisterName, self._register)
+        self.rpc.serve(UnregisterName, self._unregister)
+        self.rpc.serve(LookupName, self._lookup)
+        self.on(ReplicateEntry, self._replicate)
+
+    def _register(self, body: RegisterName, sender: Address):
+        self._directory[body.name] = tuple(body.contacts)
+        self.multicast(
+            self.peers, ReplicateEntry(name=body.name, contacts=tuple(body.contacts))
+        )
+        return ("ok",)
+
+    def _unregister(self, body: UnregisterName, sender: Address):
+        self._directory.pop(body.name, None)
+        self.multicast(self.peers, ReplicateEntry(name=body.name, contacts=None))
+        return ("ok",)
+
+    def _lookup(self, body: LookupName, sender: Address):
+        contacts = self._directory.get(body.name)
+        if contacts is None:
+            raise RpcError(f"unknown name {body.name!r}")
+        return contacts
+
+    def _replicate(self, entry: ReplicateEntry, sender: Address) -> None:
+        if entry.contacts is None:
+            self._directory.pop(entry.name, None)
+        else:
+            self._directory[entry.name] = entry.contacts
+
+    def known_names(self) -> List[str]:
+        return sorted(self._directory)
+
+
+def build_name_service(env, replicas: int = 3, prefix: str = "ns") -> List[NameServer]:
+    """Spin up a replicated name service; returns the replica processes."""
+    addresses = tuple(f"{prefix}-{i}" for i in range(replicas))
+    return [NameServer(env, a, peers=addresses) for a in addresses]
+
+
+class NameClient:
+    """Caching resolver used by service clients and members."""
+
+    def __init__(self, process: Process, rpc: Rpc, servers: Tuple[Address, ...]) -> None:
+        if not servers:
+            raise ValueError("need at least one name server")
+        self._process = process
+        self._rpc = rpc
+        self._servers = tuple(servers)
+        self._cache: Dict[str, Tuple[Address, ...]] = {}
+
+    def resolve(
+        self,
+        name: str,
+        on_result: Callable[[Optional[Tuple[Address, ...]]], None],
+        use_cache: bool = True,
+        timeout: float = 0.5,
+    ) -> None:
+        """Resolve ``name``; calls ``on_result(contacts or None)``.  Tries
+        each directory replica in turn before giving up."""
+        if use_cache and name in self._cache:
+            on_result(self._cache[name])
+            return
+        self._try(name, 0, on_result, timeout)
+
+    def invalidate(self, name: str) -> None:
+        self._cache.pop(name, None)
+
+    def _try(self, name, index, on_result, timeout) -> None:
+        if index >= len(self._servers):
+            on_result(None)
+            return
+
+        def reply(value, sender) -> None:
+            if value is None:  # server error (unknown name)
+                self._try(name, index + 1, on_result, timeout)
+            else:
+                contacts = tuple(value)
+                self._cache[name] = contacts
+                on_result(contacts)
+
+        self._rpc.call(
+            self._servers[index],
+            LookupName(name=name),
+            on_reply=reply,
+            timeout=timeout,
+            on_timeout=lambda: self._try(name, index + 1, on_result, timeout),
+        )

@@ -1,0 +1,72 @@
+"""Large-group parameters (paper §3, "Group structure").
+
+The paper defines three quantities on a group:
+
+* **size** — the number of member processes;
+* **resiliency** — communication with (or among) the group survives
+  ``resiliency - 1`` member failures; critical state is replicated at
+  ``resiliency`` members;
+* **fanout** — a process may communicate directly with at most ``fanout``
+  group members; if ``fanout < size``, a multistage broadcast is required.
+
+Typically ``size >= fanout >= resiliency``.  A group with
+``size == fanout == resiliency`` is a *small group* (all of classical ISIS);
+``size > fanout >= resiliency`` makes it a *large group*, organised as leaf
+subgroups of at least ``max(resiliency, fanout)`` members under a hierarchy
+of branch groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LargeGroupParams:
+    """Tuning knobs for one large group."""
+
+    resiliency: int = 3
+    fanout: int = 8
+    # A leaf splits when it grows beyond split_factor * min_leaf_size and
+    # merges into a sibling when it falls below min_leaf_size.  The paper
+    # fixes min_leaf_size = max(resiliency, fanout); we keep that as the
+    # default but let experiments (ablation A1) vary the bound
+    # independently via min_leaf_size.
+    split_factor: float = 2.0
+    min_leaf_size: int = 0  # 0 means "use max(resiliency, fanout)"
+    leader_size: int = 0  # 0 means "use resiliency"
+
+    def __post_init__(self) -> None:
+        if self.resiliency < 1:
+            raise ValueError("resiliency must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.split_factor <= 1.0:
+            raise ValueError("split_factor must exceed 1")
+        if self.min_leaf_size < 0 or self.leader_size < 0:
+            raise ValueError("sizes must be nonnegative")
+
+    @property
+    def leaf_min(self) -> int:
+        """Minimum leaf size: max(resiliency, fanout) per the paper, unless
+        overridden for ablation."""
+        if self.min_leaf_size:
+            return self.min_leaf_size
+        return max(self.resiliency, self.fanout)
+
+    @property
+    def leaf_split_threshold(self) -> int:
+        """A leaf larger than this must split."""
+        return int(self.leaf_min * self.split_factor)
+
+    @property
+    def leader_group_size(self) -> int:
+        """Members of the resilient group-leader subgroup."""
+        return self.leader_size if self.leader_size else self.resiliency
+
+    def describe(self) -> str:
+        return (
+            f"resiliency={self.resiliency} fanout={self.fanout} "
+            f"leaf=[{self.leaf_min}..{self.leaf_split_threshold}] "
+            f"leader={self.leader_group_size}"
+        )

@@ -1,0 +1,118 @@
+"""Client-side routing to a hierarchically organised service.
+
+The paper's request path: "The large group is used for naming purposes to
+identify the service, but requests are broadcast to individual subgroups."
+A :class:`ServiceRouter` resolves a service name to the leader (via the
+name service or static contacts), obtains a leaf assignment from the
+manager, caches it, and invalidates it when requests start failing — so a
+client only ever talks to one bounded subgroup, never to all n members.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.leader import GetLeafAssignment
+from repro.core.naming import NameClient
+from repro.net.message import Address
+from repro.proc.process import Process
+from repro.proc.rpc import Rpc
+
+Assignment = Tuple[str, Tuple[Address, ...]]  # (leaf group name, contacts)
+AssignmentFn = Callable[[Optional[Assignment]], None]
+
+
+class ServiceRouter:
+    """Resolves and caches a leaf assignment for one service."""
+
+    def __init__(
+        self,
+        process: Process,
+        service: str,
+        rpc: Optional[Rpc] = None,
+        leader_contacts: Tuple[Address, ...] = (),
+        name_client: Optional[NameClient] = None,
+        rpc_timeout: float = 0.5,
+    ) -> None:
+        if not leader_contacts and name_client is None:
+            raise ValueError("need leader contacts or a name client")
+        self._process = process
+        self.service = service
+        self._rpc = rpc if rpc is not None else Rpc(process)
+        self._static_contacts = tuple(leader_contacts)
+        self._name_client = name_client
+        self._timeout = rpc_timeout
+        self._assignment: Optional[Assignment] = None
+        self.lookups = 0
+
+    @property
+    def rpc(self) -> Rpc:
+        return self._rpc
+
+    @property
+    def cached_assignment(self) -> Optional[Assignment]:
+        return self._assignment
+
+    def invalidate(self) -> None:
+        """Drop the cached leaf (call after repeated request failures)."""
+        self._assignment = None
+        if self._name_client is not None:
+            self._name_client.invalidate(self.service)
+
+    def assignment(self, on_ready: AssignmentFn) -> None:
+        """Yield a (leaf group, contacts) assignment, from cache if warm."""
+        if self._assignment is not None:
+            on_ready(self._assignment)
+            return
+        self._resolve_leader(
+            lambda contacts: self._ask_leader(contacts, 0, on_ready)
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _resolve_leader(self, then: Callable[[Tuple[Address, ...]], None]) -> None:
+        if self._name_client is not None:
+            def resolved(contacts: Optional[Tuple[Address, ...]]) -> None:
+                then(contacts if contacts else self._static_contacts)
+
+            self._name_client.resolve(self.service, resolved)
+        else:
+            then(self._static_contacts)
+
+    def _ask_leader(
+        self,
+        contacts: Tuple[Address, ...],
+        index: int,
+        on_ready: AssignmentFn,
+    ) -> None:
+        if not contacts or index >= 3 * len(contacts):
+            on_ready(None)
+            return
+        self.lookups += 1
+        contact = contacts[index % len(contacts)]
+
+        def reply(value, sender) -> None:
+            if value is None:
+                self._ask_leader(contacts, index + 1, on_ready)
+            elif value[0] == "redirect":
+                target = value[1]
+                new_contacts = contacts if target in contacts else contacts + (target,)
+                next_index = (
+                    new_contacts.index(target)
+                    if target in new_contacts
+                    else index + 1
+                )
+                self._ask_leader(new_contacts, next_index, on_ready)
+            elif value[0] == "leaf":
+                self._assignment = (value[1], tuple(value[2]))
+                on_ready(self._assignment)
+            else:
+                self._ask_leader(contacts, index + 1, on_ready)
+
+        self._rpc.call(
+            contact,
+            GetLeafAssignment(service=self.service),
+            on_reply=reply,
+            timeout=self._timeout,
+            on_timeout=lambda: self._ask_leader(contacts, index + 1, on_ready),
+        )

@@ -1,0 +1,257 @@
+"""Hierarchical group views: the replicated data model of a large group.
+
+The paper's central storage claim (§3, "Managing group views"):
+
+* a **leaf group** view lists member processes and lives at the leaf's own
+  members (that part is :class:`repro.membership.view.GroupView`);
+* a **branch group** view lists its immediate *child groups*, not
+  processes, so "a complete list of the processes in a large group is not
+  explicitly stored anywhere";
+* branch views are managed by the resilient **group leader**.
+
+:class:`HierarchyState` is that leader-managed structure as a pure,
+deterministic state machine: it stores, per leaf, only a bounded summary
+(id, size, and up to ``resiliency`` contact addresses), and a branch tree
+whose nodes have at most ``fanout`` children.  All mutation goes through
+:meth:`HierarchyState.apply` with serialisable ops, so the leader subgroup
+can replicate it with abcast and every replica stays identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.params import LargeGroupParams
+from repro.net.message import Address
+
+ROOT_BRANCH = "branch-root"
+
+
+@dataclass(frozen=True)
+class LeafInfo:
+    """The leader's bounded summary of one leaf subgroup."""
+
+    leaf_id: str
+    parent: str
+    size: int
+    contacts: Tuple[Address, ...]  # first <= resiliency members, rank order
+
+    @property
+    def coordinator(self) -> Optional[Address]:
+        return self.contacts[0] if self.contacts else None
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """A branch group's view: its immediate children (groups, not
+    processes)."""
+
+    branch_id: str
+    parent: Optional[str]  # None for the root
+    children: Tuple[str, ...]  # branch ids or leaf ids
+
+
+# -- operations (the replicated log entries) ---------------------------------------
+
+
+@dataclass(frozen=True)
+class AddLeaf:
+    leaf_id: str
+    size: int
+    contacts: Tuple[Address, ...]
+
+
+@dataclass(frozen=True)
+class UpdateLeaf:
+    leaf_id: str
+    size: int
+    contacts: Tuple[Address, ...]
+
+
+@dataclass(frozen=True)
+class RemoveLeaf:
+    leaf_id: str
+
+
+HierarchyOp = object  # AddLeaf | UpdateLeaf | RemoveLeaf
+
+
+class HierarchyError(RuntimeError):
+    """An op could not be applied (unknown leaf, duplicate id, ...)."""
+
+
+class HierarchyState:
+    """Deterministic branch/leaf bookkeeping for one large group.
+
+    Branch restructuring is *derived*: after every op the tree is
+    re-balanced so no branch exceeds ``fanout`` children.  Because the
+    rebalancing is a deterministic function of the op sequence, replicas
+    applying the same totally ordered ops hold identical trees.
+    """
+
+    def __init__(self, name: str, params: LargeGroupParams) -> None:
+        self.name = name
+        self.params = params
+        self.leaves: Dict[str, LeafInfo] = {}
+        self.branches: Dict[str, BranchInfo] = {
+            ROOT_BRANCH: BranchInfo(ROOT_BRANCH, None, ())
+        }
+        self._branch_counter = 0
+        self.applied_ops = 0
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def total_size(self) -> int:
+        """Total member count (a *derived* sum of bounded summaries — the
+        full process list is never materialised)."""
+        return sum(leaf.size for leaf in self.leaves.values())
+
+    def leaf(self, leaf_id: str) -> LeafInfo:
+        try:
+            return self.leaves[leaf_id]
+        except KeyError:
+            raise HierarchyError(f"unknown leaf {leaf_id!r}") from None
+
+    def branch(self, branch_id: str) -> BranchInfo:
+        try:
+            return self.branches[branch_id]
+        except KeyError:
+            raise HierarchyError(f"unknown branch {branch_id!r}") from None
+
+    def smallest_leaf(self) -> Optional[LeafInfo]:
+        """Join target: the least-populated leaf (deterministic tie-break)."""
+        if not self.leaves:
+            return None
+        return min(self.leaves.values(), key=lambda l: (l.size, l.leaf_id))
+
+    def leaves_needing_split(self) -> List[LeafInfo]:
+        threshold = self.params.leaf_split_threshold
+        return sorted(
+            (l for l in self.leaves.values() if l.size > threshold),
+            key=lambda l: l.leaf_id,
+        )
+
+    def leaves_needing_merge(self) -> List[LeafInfo]:
+        """Undersized leaves (only meaningful when a sibling can absorb
+        them)."""
+        if len(self.leaves) < 2:
+            return []
+        floor = self.params.leaf_min
+        return sorted(
+            (l for l in self.leaves.values() if l.size < floor),
+            key=lambda l: l.leaf_id,
+        )
+
+    def merge_target_for(self, leaf_id: str) -> Optional[LeafInfo]:
+        """Preferred absorber: the smallest *other* leaf (keeps sizes
+        level and the post-merge size below the split threshold when
+        possible)."""
+        candidates = [l for l in self.leaves.values() if l.leaf_id != leaf_id]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda l: (l.size, l.leaf_id))
+
+    def depth(self) -> int:
+        """Longest branch chain from root to a leaf's parent, plus the
+        leaf level itself."""
+        if not self.leaves:
+            return 0
+
+        def branch_depth(branch_id: str) -> int:
+            node = self.branches[branch_id]
+            child_branches = [c for c in node.children if c in self.branches]
+            if not child_branches:
+                return 1
+            return 1 + max(branch_depth(c) for c in child_branches)
+
+        return branch_depth(ROOT_BRANCH) + 1
+
+    def max_branch_children(self) -> int:
+        if not self.branches:
+            return 0
+        return max(len(b.children) for b in self.branches.values())
+
+    def storage_entries(self) -> int:
+        """Entries a leader replica stores: bounded leaf summaries plus
+        branch child lists — the E6 measurement."""
+        leaf_entries = sum(2 + len(l.contacts) for l in self.leaves.values())
+        branch_entries = sum(1 + len(b.children) for b in self.branches.values())
+        return leaf_entries + branch_entries
+
+    def leaf_ids_under(self, node_id: str) -> List[str]:
+        """All leaf ids in the subtree rooted at ``node_id`` (sorted)."""
+        if node_id in self.leaves:
+            return [node_id]
+        out: List[str] = []
+        for child in self.branch(node_id).children:
+            out.extend(self.leaf_ids_under(child))
+        return sorted(out)
+
+    # -- mutation -------------------------------------------------------------------
+
+    def apply(self, op: HierarchyOp) -> None:
+        """Apply one replicated op; re-derive the branch tree afterwards."""
+        if isinstance(op, AddLeaf):
+            if op.leaf_id in self.leaves:
+                raise HierarchyError(f"duplicate leaf {op.leaf_id!r}")
+            self.leaves[op.leaf_id] = LeafInfo(
+                leaf_id=op.leaf_id,
+                parent=ROOT_BRANCH,  # fixed up by _rebuild_tree
+                size=op.size,
+                contacts=tuple(op.contacts[: self.params.resiliency]),
+            )
+        elif isinstance(op, UpdateLeaf):
+            leaf = self.leaf(op.leaf_id)
+            self.leaves[op.leaf_id] = replace(
+                leaf,
+                size=op.size,
+                contacts=tuple(op.contacts[: self.params.resiliency]),
+            )
+        elif isinstance(op, RemoveLeaf):
+            self.leaf(op.leaf_id)  # raises if unknown
+            del self.leaves[op.leaf_id]
+        else:
+            raise HierarchyError(f"unknown op {op!r}")
+        self._rebuild_tree()
+        self.applied_ops += 1
+
+    # -- branch-tree derivation ---------------------------------------------------
+
+    def _rebuild_tree(self) -> None:
+        """Re-derive the branch tree from the sorted leaf-id set.
+
+        The tree is a *canonical function of the leaf set*: sorted leaf ids
+        are packed bottom-up into branches of at most ``fanout`` children
+        until one level fits under the root.  Replicas that agree on the
+        leaf set therefore agree on the whole tree, and the depth is
+        ceil(log_fanout(#leaves)) — the multistage-broadcast bound of §3.
+        """
+        fanout = self.params.fanout
+        level: List[str] = sorted(self.leaves)
+        branches: Dict[str, BranchInfo] = {}
+        parent_of: Dict[str, str] = {}
+        counter = 0
+        while len(level) > fanout:
+            next_level: List[str] = []
+            for start in range(0, len(level), fanout):
+                counter += 1
+                branch_id = f"{self.name}/b{counter}"
+                chunk = tuple(level[start : start + fanout])
+                branches[branch_id] = BranchInfo(branch_id, None, chunk)
+                for child in chunk:
+                    parent_of[child] = branch_id
+                next_level.append(branch_id)
+            level = next_level
+        branches[ROOT_BRANCH] = BranchInfo(ROOT_BRANCH, None, tuple(level))
+        for child in level:
+            parent_of[child] = ROOT_BRANCH
+        for branch_id, node in list(branches.items()):
+            if branch_id != ROOT_BRANCH:
+                branches[branch_id] = replace(
+                    node, parent=parent_of[branch_id]
+                )
+        self.branches = branches
+        for leaf_id, leaf in list(self.leaves.items()):
+            self.leaves[leaf_id] = replace(leaf, parent=parent_of[leaf_id])

@@ -1,0 +1,20 @@
+"""Failure detection and crash injection."""
+
+from repro.failure.detector import (
+    FailureDetector,
+    Heartbeat,
+    HeartbeatAck,
+    HeartbeatDetector,
+    OracleDetector,
+)
+from repro.failure.injector import CrashInjector, InjectionRecord
+
+__all__ = [
+    "CrashInjector",
+    "FailureDetector",
+    "Heartbeat",
+    "HeartbeatAck",
+    "HeartbeatDetector",
+    "InjectionRecord",
+    "OracleDetector",
+]

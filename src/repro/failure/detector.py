@@ -1,0 +1,174 @@
+"""Failure detectors.
+
+Two interchangeable implementations of the same interface:
+
+:class:`HeartbeatDetector`
+    The realistic one: watched peers are pinged periodically; a peer that
+    misses ``suspect_after`` worth of heartbeats is suspected.  Its traffic
+    appears in network statistics under the ``"heartbeat"`` category so
+    benchmarks can separate steady-state monitoring cost from
+    failure-handling cost.
+
+:class:`OracleDetector`
+    Simulator scaffolding: learns of crashes from the environment hook and
+    reports them after a configurable detection delay, with *no* network
+    traffic.  ISIS ran its own site-monitoring layer below the toolkit; the
+    oracle stands in for that layer when an experiment wants to measure
+    only the protocol messages above it.
+
+Both are *complete* (a crashed watched peer is eventually suspected).  The
+heartbeat detector is only *eventually accurate*: message loss can cause
+false suspicion, which the membership layer treats as a failure — exactly
+the fail-stop conversion classical ISIS performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set
+
+from repro.net.message import Address
+from repro.proc.env import Environment
+from repro.proc.process import Process
+
+SuspectFn = Callable[[Address], None]
+
+
+@dataclass
+class Heartbeat:
+    category = "heartbeat"
+    size_bytes = 16
+
+
+@dataclass
+class HeartbeatAck:
+    category = "heartbeat"
+    size_bytes = 16
+
+
+class FailureDetector:
+    """Common interface: watch peers, get a callback on suspicion."""
+
+    def watch(self, address: Address) -> None:
+        raise NotImplementedError
+
+    def unwatch(self, address: Address) -> None:
+        raise NotImplementedError
+
+    def watched(self) -> Set[Address]:
+        raise NotImplementedError
+
+    def add_listener(self, fn: SuspectFn) -> None:
+        raise NotImplementedError
+
+
+class HeartbeatDetector(FailureDetector):
+    """Ping/ack failure detection over the real (simulated) network."""
+
+    def __init__(
+        self,
+        process: Process,
+        interval: float = 0.2,
+        suspect_after: float = 1.0,
+    ) -> None:
+        if interval <= 0 or suspect_after <= interval:
+            raise ValueError("require 0 < interval < suspect_after")
+        self._process = process
+        self._interval = interval
+        self._suspect_after = suspect_after
+        self._last_heard: Dict[Address, float] = {}
+        self._suspected: Set[Address] = set()
+        self._listeners: List[SuspectFn] = []
+        process.on(Heartbeat, self._on_ping)
+        process.on(HeartbeatAck, self._on_ack)
+        process.every(interval, self._tick)
+
+    def watch(self, address: Address) -> None:
+        if address == self._process.address:
+            return
+        self._last_heard.setdefault(address, self._process.env.now)
+        self._suspected.discard(address)
+
+    def unwatch(self, address: Address) -> None:
+        self._last_heard.pop(address, None)
+        self._suspected.discard(address)
+
+    def watched(self) -> Set[Address]:
+        return set(self._last_heard)
+
+    def add_listener(self, fn: SuspectFn) -> None:
+        self._listeners.append(fn)
+
+    def is_suspected(self, address: Address) -> bool:
+        return address in self._suspected
+
+    def _tick(self) -> None:
+        now = self._process.env.now
+        for address in list(self._last_heard):
+            if address in self._suspected:
+                continue
+            self._process.send(address, Heartbeat())
+            if now - self._last_heard[address] >= self._suspect_after:
+                self._suspected.add(address)
+                for listener in list(self._listeners):
+                    listener(address)
+
+    def _on_ping(self, ping: Heartbeat, sender: Address) -> None:
+        self._process.send(sender, HeartbeatAck())
+
+    def _on_ack(self, ack: HeartbeatAck, sender: Address) -> None:
+        if sender in self._last_heard:
+            self._last_heard[sender] = self._process.env.now
+            self._suspected.discard(sender)
+
+
+class OracleDetector(FailureDetector):
+    """Zero-traffic detector fed by the simulator's crash hook."""
+
+    def __init__(
+        self,
+        env: Environment,
+        owner: Address,
+        detection_delay: float = 0.1,
+    ) -> None:
+        if detection_delay < 0:
+            raise ValueError("detection_delay must be nonnegative")
+        self._env = env
+        self._owner = owner
+        self._delay = detection_delay
+        self._watched: Set[Address] = set()
+        self._listeners: List[SuspectFn] = []
+        env.on_crash(self._on_crash)
+
+    def watch(self, address: Address) -> None:
+        if address == self._owner:
+            return
+        self._watched.add(address)
+        # A peer that is already dead when we start watching must still be
+        # detected (completeness), e.g. joining a group with a dead member.
+        if self._env.has_process(address) and not self._env.process(address).alive:
+            self._on_crash(address)
+
+    def unwatch(self, address: Address) -> None:
+        self._watched.discard(address)
+
+    def watched(self) -> Set[Address]:
+        return set(self._watched)
+
+    def add_listener(self, fn: SuspectFn) -> None:
+        self._listeners.append(fn)
+
+    def _on_crash(self, address: Address) -> None:
+        if address not in self._watched:
+            return
+        owner = self._owner
+
+        def report() -> None:
+            # The watcher may itself have died in the interim.
+            if not self._env.has_process(owner) or not self._env.process(owner).alive:
+                return
+            if address in self._watched:
+                for listener in list(self._listeners):
+                    listener(address)
+
+        self._env.scheduler.after(self._delay, report)

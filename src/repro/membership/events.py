@@ -1,0 +1,159 @@
+"""Wire messages and application-visible events for group membership.
+
+All group-protocol payloads carry the group name so a single process can
+belong to many groups (a per-process :class:`~repro.membership.group.
+GroupRuntime` demultiplexes).  Data messages are small dataclasses sent over
+the reliable FIFO transport; their ``category`` strings are what network
+statistics bucket on, and what the benchmarks filter by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.clocks.vector import VectorClock
+from repro.membership.view import GroupView
+from repro.net.message import Address
+
+# Orderings a multicast can request.  FIFO is the paper's fbcast, CAUSAL is
+# cbcast, TOTAL is abcast.
+FIFO = "fifo"
+CAUSAL = "causal"
+TOTAL = "total"
+ORDERINGS = (FIFO, CAUSAL, TOTAL)
+
+MessageId = Tuple[Address, int]
+"""(original sender, per-sender-per-view sequence number)."""
+
+
+@dataclass
+class GroupData:
+    """An application multicast within one view of one group."""
+
+    category = "group-data"
+    group: str
+    view_seq: int
+    sender: Address
+    sender_seq: int
+    ordering: str
+    payload: Any
+    stamp: Optional[VectorClock] = None  # set for CAUSAL
+
+    @property
+    def message_id(self) -> MessageId:
+        return (self.sender, self.sender_seq)
+
+
+@dataclass
+class SetOrder:
+    """abcast sequencer decision: global delivery positions for messages."""
+
+    category = "group-setorder"
+    size_bytes = 48
+    group: str
+    view_seq: int
+    orders: List[Tuple[int, MessageId]] = field(default_factory=list)
+
+
+@dataclass
+class StabilityGossip:
+    """Periodic exchange of per-sender delivered watermarks."""
+
+    category = "group-stability"
+    size_bytes = 48
+    group: str
+    view_seq: int
+    delivered: Dict[Address, int] = field(default_factory=dict)
+
+
+@dataclass
+class Flush:
+    """Coordinator's view-change announcement: stop sending, report
+    unstable messages."""
+
+    category = "group-flush"
+    group: str
+    target_seq: int
+    initiator: Address
+    proposed: Tuple[Address, ...] = ()
+
+
+@dataclass
+class FlushOk:
+    """A member's reply: everything it has that might not be everywhere."""
+
+    category = "group-flush-ok"
+    group: str
+    target_seq: int
+    unstable: List[GroupData] = field(default_factory=list)
+    order_known: List[Tuple[int, MessageId]] = field(default_factory=list)
+    next_global_seq: int = 1
+
+
+@dataclass
+class NewView:
+    """Installs the next view, carrying the reconciled unstable messages
+    (delivered in the *old* view before the switch — virtual synchrony) and
+    the final total-order assignments for them."""
+
+    category = "group-new-view"
+    view: GroupView = None  # type: ignore[assignment]
+    unstable: List[GroupData] = field(default_factory=list)
+    orders: List[Tuple[int, MessageId]] = field(default_factory=list)
+    next_global_seq: int = 1
+    app_state: Any = None  # state-transfer snapshot for joiners
+
+
+@dataclass
+class JoinRequest:
+    """RPC body: ask a group member to add the caller (routed to the
+    coordinator)."""
+
+    group: str
+    joiner: Address
+
+
+@dataclass
+class LeaveRequest:
+    """RPC body: graceful departure."""
+
+    group: str
+    leaver: Address
+
+
+@dataclass
+class SuspectReport:
+    """Tell the view-change initiator that a member looks dead."""
+
+    category = "group-suspect"
+    size_bytes = 32
+    group: str
+    suspect: Address
+
+
+# -- application-visible events (not wire messages) --------------------------------
+
+
+@dataclass(frozen=True)
+class ViewEvent:
+    """Delivered to the application when a new view is installed.
+
+    ``joined``/``departed`` are relative to the previous view at this
+    member (empty for the first view it sees).
+    """
+
+    view: GroupView
+    joined: Tuple[Address, ...]
+    departed: Tuple[Address, ...]
+
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    """An application multicast delivered to the application layer."""
+
+    group: str
+    view_seq: int
+    sender: Address
+    payload: Any
+    ordering: str

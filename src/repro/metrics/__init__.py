@@ -1,0 +1,22 @@
+"""Measurement helpers and table rendering for experiments."""
+
+from repro.metrics.counters import (
+    LatencySample,
+    data_messages,
+    fit_power_law,
+    processes_touched,
+    view_storage_entries,
+)
+from repro.metrics.recorder import TimeSeriesRecorder
+from repro.metrics.tables import format_table, print_table
+
+__all__ = [
+    "LatencySample",
+    "TimeSeriesRecorder",
+    "data_messages",
+    "fit_power_law",
+    "format_table",
+    "print_table",
+    "processes_touched",
+    "view_storage_entries",
+]

@@ -1,0 +1,92 @@
+"""Time-series recording for experiments.
+
+A :class:`TimeSeriesRecorder` samples named probe functions at a fixed
+simulated-time interval — message rates, group sizes, queue depths —
+so workload runs can report how quantities evolved, not just their end
+state.  It schedules itself directly on the environment's scheduler
+(surviving any individual process's crash).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.proc.env import Environment
+
+Probe = Callable[[], float]
+
+
+class TimeSeriesRecorder:
+    """Periodic sampler over the simulated clock."""
+
+    def __init__(self, env: Environment, interval: float = 0.5) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.interval = interval
+        self._probes: Dict[str, Probe] = {}
+        self._series: Dict[str, List[Tuple[float, float]]] = {}
+        self._running = False
+
+    def probe(self, name: str, fn: Probe) -> None:
+        """Register a probe; sampled every interval once started."""
+        if name in self._probes:
+            raise ValueError(f"probe {name!r} already registered")
+        self._probes[name] = fn
+        self._series[name] = []
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule(self) -> None:
+        self.env.scheduler.after(self.interval, self._sample)
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        now = self.env.now
+        for name, fn in self._probes.items():
+            try:
+                value = float(fn())
+            except Exception:  # a probe must never kill the run
+                continue
+            self._series[name].append((now, value))
+        self._schedule()
+
+    # -- queries ------------------------------------------------------------------
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        return list(self._series.get(name, ()))
+
+    def values(self, name: str) -> List[float]:
+        return [v for _t, v in self._series.get(name, ())]
+
+    def last(self, name: str) -> Optional[float]:
+        entries = self._series.get(name)
+        return entries[-1][1] if entries else None
+
+    def summary(self, name: str) -> Dict[str, float]:
+        values = self.values(name)
+        if not values:
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": len(values),
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+        }
+
+    def rate_series(self, name: str) -> List[Tuple[float, float]]:
+        """Per-interval deltas of a monotonically growing probe (e.g.
+        total messages) — i.e. a rate in units per interval."""
+        entries = self._series.get(name, [])
+        return [
+            (t2, v2 - v1)
+            for (_t1, v1), (t2, v2) in zip(entries, entries[1:])
+        ]

@@ -1,0 +1,38 @@
+"""Simulated datagram network: latency models, partitions, multicast, stats."""
+
+from repro.net.latency import (
+    FixedLatency,
+    LanLatency,
+    LatencyModel,
+    SiteLatency,
+    UniformLatency,
+)
+from repro.net.message import (
+    Address,
+    DEFAULT_PAYLOAD_BYTES,
+    Envelope,
+    HEADER_BYTES,
+    payload_category,
+    payload_size,
+)
+from repro.net.network import Network
+from repro.net.partition import PartitionManager
+from repro.net.stats import NetworkStats, StatsSnapshot
+
+__all__ = [
+    "Address",
+    "DEFAULT_PAYLOAD_BYTES",
+    "Envelope",
+    "FixedLatency",
+    "HEADER_BYTES",
+    "LanLatency",
+    "LatencyModel",
+    "Network",
+    "NetworkStats",
+    "PartitionManager",
+    "SiteLatency",
+    "StatsSnapshot",
+    "UniformLatency",
+    "payload_category",
+    "payload_size",
+]

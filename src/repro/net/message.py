@@ -1,0 +1,56 @@
+"""Wire-level message envelope and payload conventions.
+
+Payloads are ordinary objects (usually dataclasses defined by each protocol
+module).  Two optional attributes are respected network-wide:
+
+``category``
+    A short string used to bucket the message in :class:`~repro.net.stats.
+    NetworkStats` (e.g. ``"abcast"``, ``"heartbeat"``, ``"view-change"``).
+    Defaults to the payload's class name.
+
+``size_bytes``
+    Approximate payload size used by latency models and byte counters.
+    Defaults to :data:`DEFAULT_PAYLOAD_BYTES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+Address = str
+"""A process endpoint name, e.g. ``"broker-3"``.  Unique per network."""
+
+DEFAULT_PAYLOAD_BYTES = 128
+HEADER_BYTES = 64
+
+
+def payload_category(payload: Any) -> str:
+    """Stats bucket for a payload: its ``category`` or its class name."""
+    return getattr(payload, "category", type(payload).__name__)
+
+
+def payload_size(payload: Any) -> int:
+    """Approximate wire size of a payload in bytes (excluding header)."""
+    size = getattr(payload, "size_bytes", DEFAULT_PAYLOAD_BYTES)
+    return int(size)
+
+
+@dataclass
+class Envelope:
+    """One datagram in flight between two endpoints."""
+
+    src: Address
+    dst: Address
+    payload: Any
+    send_time: float
+    deliver_time: float = 0.0
+    size_bytes: int = field(default=DEFAULT_PAYLOAD_BYTES)
+
+    @property
+    def category(self) -> str:
+        return payload_category(self.payload)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.size_bytes + HEADER_BYTES

@@ -1,0 +1,193 @@
+"""The simulated datagram network connecting all processes.
+
+Semantics:
+
+* Unreliable, unordered datagram service (reliability and FIFO are built on
+  top by :mod:`repro.transport`); optional drop and duplicate injection.
+* Per-destination latency drawn from a :class:`~repro.net.latency.
+  LatencyModel`.
+* Partitions via :class:`~repro.net.partition.PartitionManager`.
+* Two multicast modes, the subject of experiment E9:
+
+  - *point-to-point* (default): a multicast to k destinations costs k wire
+    packets, as in ISIS's portable implementation;
+  - *hardware multicast* ("an effective hardware multicast facility, such
+    as Ethernet", paper §2): one wire packet regardless of k.
+
+  Logical message counts (one per destination) are identical in both modes;
+  only wire-packet counts differ.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import (
+    Address,
+    Envelope,
+    HEADER_BYTES,
+    payload_category,
+    payload_size,
+)
+from repro.net.partition import PartitionManager
+from repro.net.stats import NetworkStats
+from repro.sim.rand import SimRandom
+from repro.sim.scheduler import Scheduler
+
+DeliverFn = Callable[[Envelope], None]
+
+
+class Network:
+    """Datagram network over the event scheduler."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: SimRandom,
+        latency: Optional[LatencyModel] = None,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        hardware_multicast: bool = False,
+    ) -> None:
+        if not 0 <= drop_probability < 1:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if not 0 <= duplicate_probability < 1:
+            raise ValueError("duplicate_probability must be in [0, 1)")
+        self._scheduler = scheduler
+        self._rng = rng
+        self._latency = latency if latency is not None else FixedLatency(0.001)
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self.hardware_multicast = hardware_multicast
+        self._endpoints: Dict[Address, DeliverFn] = {}
+        self.partitions = PartitionManager()
+        self.stats = NetworkStats()
+        self._taps: list = []
+
+    # -- observation -----------------------------------------------------------
+
+    def add_tap(self, fn: Callable[[str, "Envelope"], None]) -> None:
+        """Register ``fn(event, envelope)`` called on every ``"send"``,
+        ``"deliver"`` and ``"drop"`` — a wire-level observation point for
+        debugging and tracing.  Taps must not mutate the envelope."""
+        self._taps.append(fn)
+
+    def remove_tap(self, fn) -> None:
+        if fn in self._taps:
+            self._taps.remove(fn)
+
+    def _tap(self, event: str, envelope: "Envelope") -> None:
+        for fn in self._taps:
+            fn(event, envelope)
+
+    # -- endpoint management -------------------------------------------------
+
+    def register(self, address: Address, deliver: DeliverFn) -> None:
+        """Attach an endpoint.  Re-registering an address replaces it."""
+        self._endpoints[address] = deliver
+
+    def unregister(self, address: Address) -> None:
+        """Detach an endpoint; in-flight datagrams to it are dropped."""
+        self._endpoints.pop(address, None)
+
+    def is_registered(self, address: Address) -> bool:
+        return address in self._endpoints
+
+    @property
+    def endpoints(self) -> Iterable[Address]:
+        return self._endpoints.keys()
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, src: Address, dst: Address, payload: Any) -> None:
+        """Send one datagram; counts one logical message + one wire packet."""
+        self._transmit(src, dst, payload, wire_packets=1)
+
+    def multicast(self, src: Address, dsts: Iterable[Address], payload: Any) -> None:
+        """Send the same payload to several destinations.
+
+        Counts one logical message per destination.  Wire packets: one per
+        destination point-to-point, or one total under hardware multicast.
+        """
+        dst_list = list(dsts)
+        if not dst_list:
+            return
+        if self.hardware_multicast:
+            self.stats.record_wire(1)
+            per_message_wire = 0
+        else:
+            per_message_wire = 1
+        for dst in dst_list:
+            self._transmit(src, dst, payload, wire_packets=per_message_wire)
+
+    def _transmit(
+        self, src: Address, dst: Address, payload: Any, wire_packets: int
+    ) -> None:
+        size = payload_size(payload)
+        total = size + HEADER_BYTES
+        self.stats.record_send(src, payload_category(payload), total)
+        if wire_packets:
+            self.stats.record_wire(wire_packets)
+        if self._taps:
+            self._tap(
+                "send",
+                Envelope(
+                    src=src,
+                    dst=dst,
+                    payload=payload,
+                    send_time=self._scheduler.now,
+                    size_bytes=size,
+                ),
+            )
+        if not self.partitions.reachable(src, dst):
+            self._drop(src, dst, payload, size)
+            return
+        if self._rng.chance(self.drop_probability):
+            self._drop(src, dst, payload, size)
+            return
+        self._schedule_delivery(src, dst, payload, size)
+        if self._rng.chance(self.duplicate_probability):
+            self._schedule_delivery(src, dst, payload, size)
+
+    def _drop(self, src: Address, dst: Address, payload: Any, size: int) -> None:
+        self.stats.record_drop()
+        if self._taps:
+            self._tap(
+                "drop",
+                Envelope(
+                    src=src,
+                    dst=dst,
+                    payload=payload,
+                    send_time=self._scheduler.now,
+                    size_bytes=size,
+                ),
+            )
+
+    def _schedule_delivery(
+        self, src: Address, dst: Address, payload: Any, size: int
+    ) -> None:
+        delay = self._latency.sample(self._rng, src, dst, size + HEADER_BYTES)
+        envelope = Envelope(
+            src=src,
+            dst=dst,
+            payload=payload,
+            send_time=self._scheduler.now,
+            deliver_time=self._scheduler.now + delay,
+            size_bytes=size,
+        )
+        self._scheduler.at(envelope.deliver_time, lambda: self._deliver(envelope))
+
+    def _deliver(self, envelope: Envelope) -> None:
+        deliver = self._endpoints.get(envelope.dst)
+        if deliver is None:
+            # Destination crashed or never existed; the datagram vanishes,
+            # exactly as on a real LAN.
+            self.stats.record_drop()
+            if self._taps:
+                self._tap("drop", envelope)
+            return
+        self.stats.record_delivery(envelope.dst)
+        if self._taps:
+            self._tap("deliver", envelope)
+        deliver(envelope)

@@ -1,0 +1,74 @@
+"""Network partitions.
+
+A partition is expressed as a set of *islands* (disjoint address sets); a
+datagram is delivered only if its source and destination are in the same
+island (addresses not mentioned in any island form an implicit final
+island).  Pairwise link cuts are also supported for asymmetric faults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.message import Address
+
+
+class PartitionManager:
+    """Tracks which endpoint pairs can currently communicate."""
+
+    def __init__(self) -> None:
+        self._island_of: Dict[Address, int] = {}
+        self._islands_active = False
+        self._cut_links: Set[Tuple[Address, Address]] = set()
+
+    def partition(self, *islands: Iterable[Address]) -> None:
+        """Split the network into the given islands.
+
+        Addresses not listed in any island remain mutually connected (they
+        form one implicit island) but are separated from every explicit one.
+        """
+        self._island_of = {}
+        for index, island in enumerate(islands):
+            for address in island:
+                if address in self._island_of:
+                    raise ValueError(f"{address} appears in two islands")
+                self._island_of[address] = index
+        self._islands_active = True
+
+    def heal(self) -> None:
+        """Remove the island partition (cut links stay cut)."""
+        self._island_of = {}
+        self._islands_active = False
+
+    def cut_link(self, a: Address, b: Address) -> None:
+        """Cut the directed link a -> b (call twice for both directions)."""
+        self._cut_links.add((a, b))
+
+    def restore_link(self, a: Address, b: Address) -> None:
+        self._cut_links.discard((a, b))
+
+    def restore_all_links(self) -> None:
+        self._cut_links.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._islands_active or bool(self._cut_links)
+
+    def islands(self) -> List[Set[Address]]:
+        """Explicit islands currently in force (empty when healed)."""
+        grouped: Dict[int, Set[Address]] = {}
+        for address, index in self._island_of.items():
+            grouped.setdefault(index, set()).add(address)
+        return [grouped[i] for i in sorted(grouped)]
+
+    def island_index(self, address: Address) -> Optional[int]:
+        """Explicit island index, or None for the implicit remainder."""
+        return self._island_of.get(address)
+
+    def reachable(self, src: Address, dst: Address) -> bool:
+        """Can a datagram travel from ``src`` to ``dst`` right now?"""
+        if (src, dst) in self._cut_links:
+            return False
+        if not self._islands_active:
+            return True
+        return self._island_of.get(src) == self._island_of.get(dst)

@@ -1,0 +1,105 @@
+"""Network statistics: the measurement substrate for every benchmark.
+
+The paper's claims are phrased in *message counts* ("2n messages", "traffic
+grows as the square of the number of clients"), so the network counts every
+datagram exactly, bucketed by category, sender and receiver.  Wire packets
+are counted separately from logical messages so the hardware-multicast
+experiment (E9) can show one wire packet carrying n logical deliveries.
+
+Counters can be snapshotted and diffed, which is how benchmarks isolate the
+cost of a single operation::
+
+    before = net.stats.snapshot()
+    service.request(...)
+    env.run_for(1.0)
+    delta = net.stats.since(before)
+    assert delta.messages == 2 * n
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.net.message import Address
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable copy of the counters at one instant."""
+
+    messages: int
+    wire_packets: int
+    bytes: int
+    dropped: int
+    by_category: Dict[str, int] = field(default_factory=dict)
+    sent_by: Dict[Address, int] = field(default_factory=dict)
+    received_by: Dict[Address, int] = field(default_factory=dict)
+
+
+class NetworkStats:
+    """Mutable counters owned by a :class:`~repro.net.network.Network`."""
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.wire_packets = 0
+        self.bytes = 0
+        self.dropped = 0
+        self.by_category: Counter = Counter()
+        self.sent_by: Counter = Counter()
+        self.received_by: Counter = Counter()
+
+    def record_send(self, src: Address, category: str, total_bytes: int) -> None:
+        """Count one logical message (one destination) leaving ``src``."""
+        self.messages += 1
+        self.bytes += total_bytes
+        self.by_category[category] += 1
+        self.sent_by[src] += 1
+
+    def record_wire(self, packets: int = 1) -> None:
+        """Count physical packets on the wire (1 per unicast; 1 per
+        hardware-multicast send regardless of destination count)."""
+        self.wire_packets += packets
+
+    def record_delivery(self, dst: Address) -> None:
+        self.received_by[dst] += 1
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def snapshot(self) -> StatsSnapshot:
+        return StatsSnapshot(
+            messages=self.messages,
+            wire_packets=self.wire_packets,
+            bytes=self.bytes,
+            dropped=self.dropped,
+            by_category=dict(self.by_category),
+            sent_by=dict(self.sent_by),
+            received_by=dict(self.received_by),
+        )
+
+    def since(self, before: StatsSnapshot) -> StatsSnapshot:
+        """Difference between the counters now and an earlier snapshot."""
+        now = self.snapshot()
+        return StatsSnapshot(
+            messages=now.messages - before.messages,
+            wire_packets=now.wire_packets - before.wire_packets,
+            bytes=now.bytes - before.bytes,
+            dropped=now.dropped - before.dropped,
+            by_category=_diff(now.by_category, before.by_category),
+            sent_by=_diff(now.sent_by, before.sent_by),
+            received_by=_diff(now.received_by, before.received_by),
+        )
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+def _diff(now: Dict, before: Dict) -> Dict:
+    out = {}
+    for key, value in now.items():
+        delta = value - before.get(key, 0)
+        if delta:
+            out[key] = delta
+    return out

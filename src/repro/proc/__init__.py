@@ -1,0 +1,15 @@
+"""Process runtime: environment, actor base class, RPC helper."""
+
+from repro.proc.env import Environment
+from repro.proc.process import Process, Timer
+from repro.proc.rpc import Rpc, RpcError, RpcReply, RpcRequest
+
+__all__ = [
+    "Environment",
+    "Process",
+    "Rpc",
+    "RpcError",
+    "RpcReply",
+    "RpcRequest",
+    "Timer",
+]

@@ -1,0 +1,109 @@
+"""The simulated cluster environment.
+
+An :class:`Environment` bundles the event scheduler, the RNG, the network
+and the process registry — one per simulation run.  It is the single object
+tests and benchmarks construct::
+
+    env = Environment(seed=7)
+    members = [Worker(env, f"w{i}") for i in range(5)]
+    env.run_for(2.0)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, TYPE_CHECKING
+
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.net.stats import StatsSnapshot
+from repro.sim.rand import SimRandom
+from repro.sim.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.proc.process import Process
+
+
+class Environment:
+    """Scheduler + network + RNG + process registry for one simulation."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        hardware_multicast: bool = False,
+    ) -> None:
+        self.scheduler = Scheduler()
+        self.rng = SimRandom(seed)
+        self.network = Network(
+            self.scheduler,
+            self.rng.fork("network"),
+            latency=latency,
+            drop_probability=drop_probability,
+            duplicate_probability=duplicate_probability,
+            hardware_multicast=hardware_multicast,
+        )
+        self._processes: Dict[str, "Process"] = {}
+        self._crash_listeners: list = []
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.scheduler.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
+        self.scheduler.run_for(duration, max_events=max_events)
+
+    # -- processes -------------------------------------------------------------
+
+    def add_process(self, process: "Process") -> None:
+        if process.address in self._processes:
+            raise ValueError(f"duplicate process address {process.address!r}")
+        self._processes[process.address] = process
+
+    def remove_process(self, address: str) -> None:
+        self._processes.pop(address, None)
+
+    def process(self, address: str) -> "Process":
+        return self._processes[address]
+
+    def has_process(self, address: str) -> bool:
+        return address in self._processes
+
+    @property
+    def processes(self) -> Iterable["Process"]:
+        return list(self._processes.values())
+
+    def live_addresses(self) -> list:
+        return [a for a, p in self._processes.items() if p.alive]
+
+    def crash(self, address: str) -> None:
+        """Crash the process at ``address`` (no-op if unknown or dead)."""
+        process = self._processes.get(address)
+        if process is not None and process.alive:
+            process.crash()
+
+    def on_crash(self, listener) -> None:
+        """Register ``listener(address)`` to run whenever a process crashes.
+
+        This is simulator scaffolding (used by the oracle failure detector
+        and test assertions), not a network facility.
+        """
+        self._crash_listeners.append(listener)
+
+    def notify_crash(self, address: str) -> None:
+        for listener in list(self._crash_listeners):
+            listener(address)
+
+    # -- measurement ---------------------------------------------------------
+
+    def stats_snapshot(self) -> StatsSnapshot:
+        return self.network.stats.snapshot()
+
+    def stats_since(self, before: StatsSnapshot) -> StatsSnapshot:
+        return self.network.stats.since(before)

@@ -1,0 +1,118 @@
+"""Request/reply correlation over the datagram network.
+
+ISIS clients interact with services by broadcasting a request and awaiting a
+reply; this module provides the point-to-point building block: correlation
+ids, per-call timeouts, and a serving side that maps request bodies to reply
+values.  Protocol layers use it for control-plane conversations (join
+requests, name lookups, state transfer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Type
+
+from repro.net.message import Address
+from repro.proc.process import Process
+
+ReplyFn = Callable[[Any, Address], None]
+TimeoutFn = Callable[[], None]
+ServeFn = Callable[[Any, Address], Any]
+
+
+@dataclass
+class RpcRequest:
+    category = "rpc-request"
+    request_id: str
+    body: Any
+
+
+@dataclass
+class RpcReply:
+    category = "rpc-reply"
+    request_id: str
+    value: Any
+    error: Optional[str] = None
+
+
+class RpcError(RuntimeError):
+    """Raised on the serving side to return an error to the caller."""
+
+
+class Rpc:
+    """Attach request/reply support to a process.
+
+    Caller side::
+
+        rpc = Rpc(process)
+        rpc.call(server, LookupName("trading"), on_reply=handle,
+                 timeout=1.0, on_timeout=retry)
+
+    Server side::
+
+        rpc.serve(LookupName, lambda body, sender: directory[body.name])
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, process: Process) -> None:
+        self._process = process
+        self._pending: Dict[str, ReplyFn] = {}
+        self._servers: Dict[Type, ServeFn] = {}
+        process.on(RpcRequest, self._on_request)
+        process.on(RpcReply, self._on_reply)
+
+    # -- caller ----------------------------------------------------------------
+
+    def call(
+        self,
+        dst: Address,
+        body: Any,
+        on_reply: ReplyFn,
+        timeout: Optional[float] = None,
+        on_timeout: Optional[TimeoutFn] = None,
+    ) -> str:
+        """Send ``body`` to ``dst``; invoke ``on_reply(value, sender)`` on the
+        reply, or ``on_timeout()`` if none arrives within ``timeout``."""
+        request_id = f"{self._process.address}#{next(self._ids)}"
+        self._pending[request_id] = on_reply
+        self._process.send(dst, RpcRequest(request_id=request_id, body=body))
+        if timeout is not None:
+            self._process.set_timer(
+                timeout, lambda: self._expire(request_id, on_timeout)
+            )
+        return request_id
+
+    def _expire(self, request_id: str, on_timeout: Optional[TimeoutFn]) -> None:
+        if self._pending.pop(request_id, None) is not None and on_timeout:
+            on_timeout()
+
+    def _on_reply(self, reply: RpcReply, sender: Address) -> None:
+        on_reply = self._pending.pop(reply.request_id, None)
+        if on_reply is not None:
+            on_reply(reply.value, sender)
+
+    # -- server ----------------------------------------------------------------
+
+    def serve(self, body_type: Type, fn: ServeFn) -> None:
+        """Answer requests whose body is an instance of ``body_type`` with
+        the return value of ``fn(body, sender)``."""
+        if body_type in self._servers:
+            raise ValueError(f"already serving {body_type.__name__}")
+        self._servers[body_type] = fn
+
+    def unserve(self, body_type: Type) -> None:
+        self._servers.pop(body_type, None)
+
+    def _on_request(self, request: RpcRequest, sender: Address) -> None:
+        fn = self._servers.get(type(request.body))
+        if fn is None:
+            return  # not served here; the caller's timeout handles it
+        try:
+            value = fn(request.body, sender)
+        except RpcError as exc:
+            reply = RpcReply(request_id=request.request_id, value=None, error=str(exc))
+        else:
+            reply = RpcReply(request_id=request.request_id, value=value)
+        self._process.send(sender, reply)

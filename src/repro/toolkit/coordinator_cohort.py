@@ -1,0 +1,343 @@
+"""The coordinator-cohort tool (paper §2), on flat groups.
+
+    "A client of such a service broadcasts its request to all members of
+    the group, one of whose members is chosen to handle the request.  This
+    member, the coordinator, is monitored by the other group members, the
+    cohorts, and should the coordinator fail, one of the cohorts is
+    selected to take over as the new coordinator.  When the coordinator
+    has completed the request, the result is returned to the client, and
+    copies of the result are broadcast to the cohorts."
+
+Message accounting for a group of n (the paper's E1 claim): n request
+messages (client to every member) + 1 reply to the client + n-1 result
+copies to the cohorts = **2n messages** per request, with all n members
+doing work — which is exactly why this style "does not scale up very
+well", and why ``cohort_limit`` (experiment E7) caps how many cohorts
+retain the result.
+
+A process may host several servers (different groups) and several client
+stubs; a per-process :class:`_CCDispatch` demultiplexes the shared wire
+types.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from weakref import WeakValueDictionary
+
+from repro.membership.events import ViewEvent
+from repro.membership.group import GroupMember
+from repro.net.message import Address
+from repro.proc.process import Process
+
+Handler = Callable[[Any, Address], Any]
+
+
+@dataclass
+class CCRequest:
+    category = "cc-request"
+    group: str
+    request_id: str
+    payload: Any = None
+    client: Address = ""
+
+
+@dataclass
+class CCReply:
+    category = "cc-reply"
+    request_id: str
+    result: Any = None
+
+
+@dataclass
+class CCResultNote:
+    """The coordinator's result copy broadcast to the cohorts."""
+
+    category = "cc-result"
+    group: str
+    request_id: str = ""
+    result: Any = None
+    client: Address = ""
+
+
+@dataclass
+class GetMembers:
+    """RPC body: a client asks any member for the current membership."""
+
+    group: str
+
+
+class _CCDispatch:
+    """Per-process demux for coordinator-cohort wire types."""
+
+    _instances: "WeakValueDictionary[int, _CCDispatch]" = WeakValueDictionary()
+
+    @classmethod
+    def for_process(cls, process: Process, rpc=None) -> "_CCDispatch":
+        existing = cls._instances.get(id(process))
+        if existing is not None:
+            return existing
+        dispatch = cls(process, rpc)
+        cls._instances[id(process)] = dispatch
+        return dispatch
+
+    def __init__(self, process: Process, rpc=None) -> None:
+        from repro.proc.rpc import Rpc
+
+        self.process = process
+        self.servers: Dict[str, "CoordinatorCohortServer"] = {}
+        self.outstanding: Dict[str, "CoordinatorCohortClient"] = {}
+        process.on(CCRequest, self._on_request)
+        process.on(CCReply, self._on_reply)
+        process.on(CCResultNote, self._on_result_note)
+        self.rpc = rpc if rpc is not None else Rpc(process)
+        try:
+            self.rpc.serve(GetMembers, self._serve_members)
+        except ValueError:
+            pass
+
+    def _on_request(self, request: CCRequest, sender: Address) -> None:
+        server = self.servers.get(request.group)
+        if server is not None:
+            server._on_request(request, sender)
+
+    def _on_reply(self, reply: CCReply, sender: Address) -> None:
+        client = self.outstanding.pop(reply.request_id, None)
+        if client is not None:
+            client._on_reply(reply, sender)
+
+    def _on_result_note(self, note: CCResultNote, sender: Address) -> None:
+        server = self.servers.get(note.group)
+        if server is not None:
+            server._on_result_note(note, sender)
+
+    def _serve_members(self, body: GetMembers, sender: Address):
+        server = self.servers.get(body.group)
+        if server is None or not server.member.is_member:
+            return None
+        return tuple(server.member.view.members)
+
+
+class CoordinatorCohortServer:
+    """Attach to every member of the serving group."""
+
+    def __init__(
+        self,
+        member: GroupMember,
+        handler: Handler,
+        cohort_limit: Optional[int] = None,
+    ) -> None:
+        self.member = member
+        self.handler = handler
+        self.cohort_limit = cohort_limit
+        self.requests_executed = 0
+        self.takeovers = 0
+        # request_id -> (payload, client); dropped once a result is known.
+        self._pending: Dict[str, Tuple[Any, Address]] = {}
+        self._results: Dict[str, Any] = {}
+        self._dispatch = _CCDispatch.for_process(
+            member.runtime.process, rpc=member.runtime.rpc
+        )
+        self._dispatch.servers[member.group] = self
+        member.add_view_listener(self._on_view)
+
+    # -- protocol ------------------------------------------------------------------
+
+    def _is_coordinator(self) -> bool:
+        return (
+            self.member.is_member
+            and self.member.acting_coordinator() == self.member.me
+        )
+
+    def _cohorts(self) -> Tuple[Address, ...]:
+        others = self.member.view.others(self.member.me)
+        if self.cohort_limit is not None:
+            others = others[: max(0, self.cohort_limit - 1)]
+        return others
+
+    def _on_request(self, request: CCRequest, sender: Address) -> None:
+        if not self.member.is_member:
+            return
+        if request.request_id in self._results:
+            # Retransmitted request already served: coordinator re-replies.
+            if self._is_coordinator():
+                self.member.runtime.process.send(
+                    request.client,
+                    CCReply(
+                        request_id=request.request_id,
+                        result=self._results[request.request_id],
+                    ),
+                )
+            return
+        self._pending[request.request_id] = (request.payload, request.client)
+        if self._is_coordinator():
+            self._execute(request.request_id)
+
+    def _execute(self, request_id: str) -> None:
+        payload, client = self._pending.pop(request_id)
+        result = self.handler(payload, client)
+        self.requests_executed += 1
+        self._results[request_id] = result
+        process = self.member.runtime.process
+        process.send(client, CCReply(request_id=request_id, result=result))
+        cohorts = self._cohorts()
+        if cohorts:
+            process.multicast(
+                cohorts,
+                CCResultNote(
+                    group=self.member.group,
+                    request_id=request_id,
+                    result=result,
+                    client=client,
+                ),
+            )
+
+    def _on_result_note(self, note: CCResultNote, sender: Address) -> None:
+        self._results[note.request_id] = note.result
+        self._pending.pop(note.request_id, None)
+
+    def _on_view(self, event: ViewEvent) -> None:
+        """Cohort takeover: if the coordinator died holding requests we
+        know about but never published results for, the new coordinator
+        re-executes them."""
+        if not self._is_coordinator():
+            return
+        for request_id in sorted(self._pending):
+            self.takeovers += 1
+            self._execute(request_id)
+
+
+class CoordinatorCohortClient:
+    """Client stub: membership discovery + request broadcast + retry."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        process: Process,
+        group: str,
+        contact: Address = "",
+        contacts: Tuple[Address, ...] = (),
+        rpc=None,
+        timeout: float = 1.0,
+        max_retries: int = 4,
+        request_fanout: Optional[int] = None,
+    ) -> None:
+        self.process = process
+        self.group = group
+        self.contacts = tuple(contacts) if contacts else (contact,)
+        if not any(self.contacts):
+            raise ValueError("need a contact or contacts")
+        self._contact_index = 0
+        # How many members receive each request (None = all, the classic
+        # behaviour).  The paper argues a handful of cohorts gives all the
+        # resiliency there is to get (experiment E7).
+        self.request_fanout = request_fanout
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self._dispatch = _CCDispatch.for_process(process, rpc=rpc)
+        self.rpc = self._dispatch.rpc
+        self._members: Optional[Tuple[Address, ...]] = None
+        self.replies_received = 0
+        self._callbacks: Dict[str, Callable[[Any], None]] = {}
+
+    def request(
+        self,
+        payload: Any,
+        on_reply: Callable[[Any], None],
+        on_failure: Optional[Callable[[], None]] = None,
+    ) -> str:
+        request_id = f"{self.process.address}/cc{next(self._ids)}"
+        self._callbacks[request_id] = on_reply
+        self._dispatch.outstanding[request_id] = self
+        self._send(request_id, payload, self.max_retries, on_failure)
+        return request_id
+
+    # -- internals ---------------------------------------------------------------
+
+    def _send(self, request_id, payload, retries_left, on_failure) -> None:
+        if request_id not in self._callbacks:
+            return
+        if self._members is None:
+            self._fetch_members(
+                lambda: self._send(request_id, payload, retries_left, on_failure),
+                retries_left,
+                lambda: self._maybe_retry(
+                    request_id, payload, retries_left, on_failure
+                ),
+            )
+            return
+        targets = self._members
+        if self.request_fanout is not None:
+            targets = targets[: max(1, self.request_fanout)]
+        self.process.multicast(
+            targets,
+            CCRequest(
+                group=self.group,
+                request_id=request_id,
+                payload=payload,
+                client=self.process.address,
+            ),
+        )
+        self.process.set_timer(
+            self.timeout,
+            lambda: self._maybe_retry(request_id, payload, retries_left, on_failure),
+        )
+
+    def _maybe_retry(self, request_id, payload, retries_left, on_failure) -> None:
+        if request_id not in self._callbacks:
+            return
+        if retries_left <= 0:
+            self._callbacks.pop(request_id, None)
+            self._dispatch.outstanding.pop(request_id, None)
+            if on_failure is not None:
+                on_failure()
+            return
+        self._members = None  # refresh membership: it may have changed
+        self._send(request_id, payload, retries_left - 1, on_failure)
+
+    def _fetch_members(self, then, retries_left, on_give_up) -> None:
+        contact = self.contacts[self._contact_index % len(self.contacts)]
+
+        def reply(value, sender) -> None:
+            if value:
+                self._members = tuple(value)
+                # Prefer the freshest membership as future contacts.
+                self.contacts = tuple(value)
+                self._contact_index = 0
+                then()
+            else:
+                self._contact_index += 1
+                on_give_up()
+
+        def timed_out() -> None:
+            self._contact_index += 1
+            on_give_up()
+
+        self.rpc.call(
+            contact,
+            GetMembers(group=self.group),
+            on_reply=reply,
+            timeout=self.timeout,
+            on_timeout=timed_out,
+        )
+
+    def _on_reply(self, reply: CCReply, sender: Address) -> None:
+        on_reply = self._callbacks.pop(reply.request_id, None)
+        if on_reply is not None:
+            self.replies_received += 1
+            on_reply(reply.result)
+
+
+def attach_service(
+    members: List[GroupMember],
+    handler: Handler,
+    cohort_limit: Optional[int] = None,
+) -> List[CoordinatorCohortServer]:
+    """Attach a coordinator-cohort service to every group member."""
+    return [
+        CoordinatorCohortServer(m, handler, cohort_limit=cohort_limit)
+        for m in members
+    ]

@@ -1,0 +1,112 @@
+"""The news facility: subject-based publish/subscribe within a group.
+
+Classical ISIS shipped a "news" service built on its process groups; it
+is the natural way to express the trading room's per-symbol feeds.  Posts
+to a subject are causally ordered multicasts (cbcast is enough: posts by
+one publisher stay ordered, replies follow what they reply to), every
+member keeps a bounded back-file per subject, and late subscribers can
+replay it — with full state transfer to joining members via the group's
+snapshot hooks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.membership.events import CAUSAL, DeliveryEvent
+from repro.membership.group import GroupMember
+from repro.net.message import Address
+
+Subscriber = Callable[[str, Any, Address], None]
+
+
+@dataclass
+class NewsPost:
+    category = "news-post"
+    subject: str
+    body: Any = None
+
+
+class News:
+    """One member's endpoint of the group news service."""
+
+    def __init__(
+        self,
+        member: GroupMember,
+        back_issues: int = 64,
+        claim_state_hooks: bool = True,
+    ) -> None:
+        if back_issues < 0:
+            raise ValueError("back_issues must be nonnegative")
+        self.member = member
+        self.back_issues = back_issues
+        self._subscribers: Dict[str, List[Subscriber]] = {}
+        self._files: Dict[str, Deque[Tuple[Any, Address]]] = {}
+        self.posts_delivered = 0
+        member.add_delivery_listener(self._on_delivery)
+        if claim_state_hooks and member.state_provider is None:
+            member.state_provider = self._snapshot
+            member.state_receiver = self._restore
+
+    # -- publishing -------------------------------------------------------------
+
+    def post(self, subject: str, body: Any) -> None:
+        """Publish to every member subscribed to ``subject``."""
+        self.member.multicast(NewsPost(subject=subject, body=body), CAUSAL)
+
+    # -- subscribing -------------------------------------------------------------
+
+    def subscribe(
+        self,
+        subject: str,
+        fn: Subscriber,
+        replay_back_issues: bool = False,
+    ) -> None:
+        """Register ``fn(subject, body, poster)``; optionally replay the
+        locally held back-file first (late-subscriber catch-up)."""
+        if replay_back_issues:
+            for body, poster in self._files.get(subject, ()):
+                fn(subject, body, poster)
+        self._subscribers.setdefault(subject, []).append(fn)
+
+    def unsubscribe(self, subject: str, fn: Subscriber) -> None:
+        subscribers = self._subscribers.get(subject, [])
+        if fn in subscribers:
+            subscribers.remove(fn)
+
+    def back_file(self, subject: str) -> List[Tuple[Any, Address]]:
+        return list(self._files.get(subject, ()))
+
+    def subjects(self) -> List[str]:
+        return sorted(self._files)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _on_delivery(self, event: DeliveryEvent) -> None:
+        payload = event.payload
+        if not isinstance(payload, NewsPost):
+            return
+        self.posts_delivered += 1
+        entry = (payload.body, event.sender)
+        history = self._files.setdefault(
+            payload.subject, deque(maxlen=self.back_issues or None)
+        )
+        if self.back_issues:
+            history.append(entry)
+        for fn in list(self._subscribers.get(payload.subject, ())):
+            fn(payload.subject, payload.body, event.sender)
+
+    def _snapshot(self) -> Dict[str, List[Tuple[Any, Address]]]:
+        return {subject: list(history) for subject, history in self._files.items()}
+
+    def _restore(self, snapshot: Any) -> None:
+        if not isinstance(snapshot, dict):
+            return
+        for subject, entries in snapshot.items():
+            history = self._files.setdefault(
+                subject, deque(maxlen=self.back_issues or None)
+            )
+            for entry in entries:
+                history.append(tuple(entry))

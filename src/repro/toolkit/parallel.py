@@ -1,0 +1,139 @@
+"""Subdivided parallel computation (the toolkit's scatter/gather tool).
+
+An origin member scatters a list of work items across the group (each
+member takes the slice matching its rank), workers compute and send
+partial results back, and the origin gathers.  If a worker dies before
+reporting, the view change triggers a re-scatter of the whole task among
+the survivors (idempotent work assumed, as in ISIS).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.membership.events import FIFO, DeliveryEvent, ViewEvent
+from repro.membership.group import GroupMember
+from repro.net.message import Address
+
+WorkerFn = Callable[[Any], Any]
+GatherFn = Callable[[List[Any]], None]
+
+
+@dataclass
+class ScatterTask:
+    category = "parallel-task"
+    task_id: str
+    items: Tuple[Any, ...] = ()
+    origin: Address = ""
+
+
+@dataclass
+class PartialResult:
+    category = "parallel-result"
+    task_id: str
+    rank: int = 0
+    results: Tuple[Any, ...] = ()
+    indices: Tuple[int, ...] = ()
+
+
+def partition(count: int, workers: int, rank: int) -> Tuple[int, ...]:
+    """Deterministic round-robin partition of item indices by rank."""
+    return tuple(i for i in range(count) if i % workers == rank)
+
+
+class ParallelExecutor:
+    """Attach to every member; any member can originate tasks."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, member: GroupMember, worker_fn: WorkerFn) -> None:
+        self.member = member
+        self.worker_fn = worker_fn
+        self.items_processed = 0
+        # origin-side bookkeeping: task_id -> gather state
+        self._gathers: Dict[str, Dict[str, Any]] = {}
+        member.add_delivery_listener(self._on_delivery)
+        member.add_view_listener(self._on_view)
+        member.runtime.process.on(PartialResult, self._on_partial)
+
+    # -- origin side -----------------------------------------------------------------
+
+    def run(self, items: List[Any], on_done: GatherFn) -> str:
+        """Scatter ``items`` over the current membership; ``on_done``
+        receives results in item order once every index is covered."""
+        task_id = f"{self.member.me}/task{next(self._ids)}"
+        self._gathers[task_id] = {
+            "items": list(items),
+            "results": {},  # index -> result
+            "on_done": on_done,
+        }
+        self._scatter(task_id)
+        return task_id
+
+    def _scatter(self, task_id: str) -> None:
+        gather = self._gathers[task_id]
+        self.member.multicast(
+            ScatterTask(
+                task_id=task_id,
+                items=tuple(gather["items"]),
+                origin=self.member.me,
+            ),
+            FIFO,
+        )
+
+    def _on_partial(self, partial: PartialResult, sender: Address) -> None:
+        gather = self._gathers.get(partial.task_id)
+        if gather is None:
+            return
+        for index, result in zip(partial.indices, partial.results):
+            gather["results"].setdefault(index, result)
+        if len(gather["results"]) == len(gather["items"]):
+            del self._gathers[partial.task_id]
+            ordered = [gather["results"][i] for i in range(len(gather["items"]))]
+            gather["on_done"](ordered)
+
+    def _on_view(self, event: ViewEvent) -> None:
+        """Origin: a worker died mid-task — re-scatter unfinished tasks so
+        survivors cover the dead worker's slice."""
+        if not event.departed:
+            return
+        for task_id in sorted(self._gathers):
+            self._scatter(task_id)
+
+    # -- worker side -----------------------------------------------------------------
+
+    def _on_delivery(self, event: DeliveryEvent) -> None:
+        payload = event.payload
+        if not isinstance(payload, ScatterTask):
+            return
+        view = self.member.view
+        if view is None:
+            return
+        rank = view.rank_of(self.member.me)
+        indices = partition(len(payload.items), view.size, rank)
+        if not indices:
+            return
+        results = tuple(self.worker_fn(payload.items[i]) for i in indices)
+        self.items_processed += len(indices)
+        if payload.origin == self.member.me:
+            self._on_partial(
+                PartialResult(
+                    task_id=payload.task_id,
+                    rank=rank,
+                    results=results,
+                    indices=indices,
+                ),
+                self.member.me,
+            )
+        else:
+            self.member.runtime.process.send(
+                payload.origin,
+                PartialResult(
+                    task_id=payload.task_id,
+                    rank=rank,
+                    results=results,
+                    indices=indices,
+                ),
+            )

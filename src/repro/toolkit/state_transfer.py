@@ -1,0 +1,58 @@
+"""State transfer for joining members.
+
+The membership layer carries an application snapshot inside ``NewView``
+when a view change admits joiners: the view-change coordinator calls the
+group's ``state_provider`` and each joiner's ``state_receiver`` gets the
+result *before* any new-view message is delivered — so a joiner starts
+from a state consistent with the exact message prefix the group has
+processed (the classical ISIS state-transfer guarantee).
+
+This module provides composition: several toolkit components on one group
+can each register a named section of the snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.membership.group import GroupMember
+
+Provider = Callable[[], Any]
+Receiver = Callable[[Any], None]
+
+
+class StateTransferHub:
+    """Multiplexes the single provider/receiver slot of a group member
+    across named components."""
+
+    def __init__(self, member: GroupMember) -> None:
+        if member.state_provider is not None or member.state_receiver is not None:
+            raise ValueError(
+                "group member already has state-transfer hooks; create the "
+                "hub before other components claim them"
+            )
+        self.member = member
+        self._providers: Dict[str, Provider] = {}
+        self._receivers: Dict[str, Receiver] = {}
+        self.transfers_received = 0
+        member.state_provider = self._provide
+        member.state_receiver = self._receive
+
+    def register(self, section: str, provider: Provider, receiver: Receiver) -> None:
+        """Add a named snapshot section (e.g. one per replicated table)."""
+        if section in self._providers:
+            raise ValueError(f"section {section!r} already registered")
+        self._providers[section] = provider
+        self._receivers[section] = receiver
+
+    def _provide(self) -> Dict[str, Any]:
+        return {name: provider() for name, provider in self._providers.items()}
+
+    def _receive(self, snapshot: Any) -> None:
+        if not isinstance(snapshot, dict):
+            return
+        self.transfers_received += 1
+        for name, section in snapshot.items():
+            receiver = self._receivers.get(name)
+            if receiver is not None:
+                receiver(section)

@@ -1,0 +1,13 @@
+"""Reliable FIFO transport built on the lossy datagram network."""
+
+from repro.transport.channel import ReceiveState, Segment, SegmentAck, SendState
+from repro.transport.reliable import DEFAULT_RTO, ReliableTransport
+
+__all__ = [
+    "DEFAULT_RTO",
+    "ReceiveState",
+    "ReliableTransport",
+    "Segment",
+    "SegmentAck",
+    "SendState",
+]

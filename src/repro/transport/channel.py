@@ -1,0 +1,141 @@
+"""Per-peer channel state and wire types for the reliable transport.
+
+The network gives us lossy unordered datagrams; :mod:`repro.transport.
+reliable` builds per-peer reliable FIFO channels on top using sequence
+numbers, cumulative acknowledgements and timeout-driven retransmission.
+
+Channels are additionally tagged with the sender's process *incarnation*
+(bumped on crash recovery) and a per-channel *epoch* (bumped whenever the
+sender restarts the channel, e.g. because the receiver rebooted and lost
+its receive state).  A receiver keys its state by (incarnation, epoch)
+and ignores anything older, so a recovered workstation is never
+black-holed by sequence numbers from its previous life.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass
+class Segment:
+    """A reliably transmitted payload with a per-peer sequence number.
+
+    Statistics transparency: a segment reports its *inner* payload's
+    category and size, so protocol-level message accounting (flush
+    messages, group data, ...) is unaffected by the transport wrapping.
+    """
+
+    seq: int
+    payload: Any
+    incarnation: int = 0
+    epoch: int = 0
+
+    @property
+    def category(self) -> str:
+        from repro.net.message import payload_category
+
+        return payload_category(self.payload)
+
+    @property
+    def size_bytes(self) -> int:
+        from repro.net.message import payload_size
+
+        return payload_size(self.payload) + 16  # seq-number overhead
+
+    @property
+    def channel_id(self) -> Tuple[int, int]:
+        return (self.incarnation, self.epoch)
+
+
+@dataclass
+class SegmentAck:
+    """Cumulative acknowledgement: all seq <= cum_seq received.
+
+    Carries the acker's incarnation (so a sender notices the receiver
+    rebooted) and echoes the channel epoch being acknowledged (so acks
+    from a dead epoch are ignored).
+    """
+
+    category = "transport-ack"
+    size_bytes = 16
+    cum_seq: int
+    incarnation: int = 0
+    epoch: int = 0
+
+
+@dataclass
+class SendState:
+    """Sender-side state for one destination."""
+
+    epoch: int = 0
+    next_seq: int = 1
+    # seq -> (payload, last transmission time)
+    unacked: Dict[int, Tuple[Any, float]] = field(default_factory=dict)
+
+    def admit(self, payload: Any, now: float, incarnation: int = 0) -> Segment:
+        segment = Segment(
+            seq=self.next_seq,
+            payload=payload,
+            incarnation=incarnation,
+            epoch=self.epoch,
+        )
+        self.unacked[segment.seq] = (payload, now)
+        self.next_seq += 1
+        return segment
+
+    def acknowledge(self, cum_seq: int) -> None:
+        for seq in [s for s in self.unacked if s <= cum_seq]:
+            del self.unacked[seq]
+
+    def due_for_retransmit(
+        self, now: float, rto: float, incarnation: int = 0
+    ) -> List[Segment]:
+        due = []
+        for seq, (payload, sent_at) in sorted(self.unacked.items()):
+            if now - sent_at >= rto:
+                self.unacked[seq] = (payload, now)
+                due.append(
+                    Segment(
+                        seq=seq,
+                        payload=payload,
+                        incarnation=incarnation,
+                        epoch=self.epoch,
+                    )
+                )
+        return due
+
+    def restart(self, now: float) -> List[Any]:
+        """Begin a new epoch (the receiver lost its state): unacked
+        payloads are carried over in order to be re-admitted by the
+        caller.  Returns those payloads."""
+        pending = [payload for _seq, (payload, _at) in sorted(self.unacked.items())]
+        self.epoch += 1
+        self.next_seq = 1
+        self.unacked = {}
+        return pending
+
+
+@dataclass
+class ReceiveState:
+    """Receiver-side state for one source channel (incarnation, epoch)."""
+
+    channel_id: Tuple[int, int] = (0, 0)
+    expected: int = 1
+    out_of_order: Dict[int, Any] = field(default_factory=dict)
+
+    def accept(self, segment: Segment) -> List[Any]:
+        """Record a segment; return payloads now deliverable in order."""
+        if segment.seq < self.expected:
+            return []  # duplicate of something already delivered
+        self.out_of_order.setdefault(segment.seq, segment.payload)
+        ready: List[Any] = []
+        while self.expected in self.out_of_order:
+            ready.append(self.out_of_order.pop(self.expected))
+            self.expected += 1
+        return ready
+
+    @property
+    def cum_seq(self) -> int:
+        return self.expected - 1

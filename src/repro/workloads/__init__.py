@@ -1,0 +1,35 @@
+"""The paper's motivating applications as synthetic workload generators."""
+
+from repro.workloads.common import (
+    ServiceCluster,
+    WorkloadResult,
+    build_service_cluster,
+)
+from repro.workloads.manufacturing import (
+    CellStatus,
+    ManufacturingWorkload,
+    PARTS,
+    Recipe,
+)
+from repro.workloads.trading import SYMBOLS, Tick, TradingRoomWorkload
+from repro.workloads.trading_partitioned import (
+    SymbolFeed,
+    SymbolPartitionedTrading,
+    TickRelay,
+)
+
+__all__ = [
+    "CellStatus",
+    "ManufacturingWorkload",
+    "PARTS",
+    "Recipe",
+    "SYMBOLS",
+    "ServiceCluster",
+    "SymbolFeed",
+    "SymbolPartitionedTrading",
+    "TickRelay",
+    "Tick",
+    "TradingRoomWorkload",
+    "WorkloadResult",
+    "build_service_cluster",
+]

@@ -1,0 +1,216 @@
+"""Unit tests for the ordering engines and stability tracker (pure logic)."""
+
+from hypothesis import given, strategies as st
+
+from repro.broadcast import (
+    CausalEngine,
+    FifoEngine,
+    StabilityTracker,
+    TotalEngine,
+    causal_sort_key,
+)
+from repro.membership.events import GroupData, SetOrder
+from repro.membership.view import GroupView
+
+
+VIEW = GroupView("g", 1, ("a", "b", "c"))
+
+
+def data(sender, seq, ordering="fifo"):
+    return GroupData(
+        group="g",
+        view_seq=1,
+        sender=sender,
+        sender_seq=seq,
+        ordering=ordering,
+        payload=f"{sender}{seq}",
+    )
+
+
+# -- fifo --------------------------------------------------------------------------
+
+
+def test_fifo_delivers_immediately():
+    engine = FifoEngine(VIEW, "a")
+    m = data("b", 1)
+    assert engine.on_receive(m) == [m]
+    assert engine.held() == []
+
+
+# -- causal -------------------------------------------------------------------------
+
+
+def test_causal_engine_stamps_and_orders():
+    a = CausalEngine(VIEW, "a")
+    b = CausalEngine(VIEW, "b")
+    m1 = data("a", 1, "causal")
+    a.stamp_outgoing(m1)
+    assert m1.stamp is not None
+    # b delivers m1, then sends m2 causally after it
+    assert b.on_receive(m1) == [m1]
+    m2 = data("b", 1, "causal")
+    b.stamp_outgoing(m2)
+    # a third party receiving m2 before m1 must hold it
+    c = CausalEngine(VIEW, "c")
+    assert c.on_receive(m2) == []
+    assert c.held() == [m2]
+    assert c.on_receive(m1) == [m1, m2]
+    assert c.held() == []
+
+
+def test_causal_engine_ignores_own_message_on_receive():
+    a = CausalEngine(VIEW, "a")
+    m = data("a", 1, "causal")
+    a.stamp_outgoing(m)
+    assert a.on_receive(m) == []
+
+
+def test_causal_sort_key_is_linear_extension():
+    a = CausalEngine(VIEW, "a")
+    m1 = data("a", 1, "causal")
+    a.stamp_outgoing(m1)
+    b = CausalEngine(VIEW, "b")
+    b.on_receive(m1)
+    m2 = data("b", 1, "causal")
+    b.stamp_outgoing(m2)
+    assert causal_sort_key(m1) < causal_sort_key(m2)
+
+
+# -- total --------------------------------------------------------------------------
+
+
+def test_total_engine_sequencer_assigns_in_order():
+    seq_engine = TotalEngine(VIEW, "a")  # rank 0 is the sequencer
+    assert seq_engine.is_sequencer
+    m1, m2 = data("b", 1, "total"), data("c", 1, "total")
+    order1 = seq_engine.assign_order(m1)
+    order2 = seq_engine.assign_order(m2)
+    assert order1.orders == [(1, ("b", 1))]
+    assert order2.orders == [(2, ("c", 1))]
+
+
+def test_total_engine_non_sequencer_does_not_assign():
+    engine = TotalEngine(VIEW, "b")
+    assert not engine.is_sequencer
+    assert engine.assign_order(data("b", 1, "total")) is None
+
+
+def test_total_engine_delivers_only_with_data_and_order():
+    engine = TotalEngine(VIEW, "b")
+    m1 = data("a", 1, "total")
+    assert engine.on_receive(m1) == []  # no order yet
+    so = SetOrder(group="g", view_seq=1, orders=[(1, ("a", 1))])
+    assert engine.on_set_order(so) == [m1]
+
+
+def test_total_engine_order_before_data():
+    engine = TotalEngine(VIEW, "b")
+    so = SetOrder(group="g", view_seq=1, orders=[(1, ("a", 1))])
+    assert engine.on_set_order(so) == []
+    m1 = data("a", 1, "total")
+    assert engine.on_receive(m1) == [m1]
+
+
+def test_total_engine_gap_blocks_later_deliveries():
+    engine = TotalEngine(VIEW, "b")
+    m1, m2 = data("a", 1, "total"), data("a", 2, "total")
+    engine.on_receive(m1)
+    engine.on_receive(m2)
+    # order for seq 2 arrives first: must hold until seq 1 resolves
+    assert engine.on_set_order(
+        SetOrder(group="g", view_seq=1, orders=[(2, ("a", 2))])
+    ) == []
+    assert engine.on_set_order(
+        SetOrder(group="g", view_seq=1, orders=[(1, ("a", 1))])
+    ) == [m1, m2]
+
+
+def test_total_engine_history_reported_after_delivery():
+    engine = TotalEngine(VIEW, "b")
+    m1 = data("a", 1, "total")
+    engine.on_receive(m1)
+    engine.on_set_order(SetOrder(group="g", view_seq=1, orders=[(1, ("a", 1))]))
+    # delivered, but flush must still see the assignment
+    assert engine.known_orders() == [(1, ("a", 1))]
+    assert engine.next_global_seq == 2
+
+
+def test_total_engine_starts_from_given_global_seq():
+    engine = TotalEngine(VIEW, "a", next_global_seq=7)
+    m = data("b", 1, "total")
+    order = engine.assign_order(m)
+    assert order.orders == [(7, ("b", 1))]
+
+
+def test_total_engine_duplicate_data_and_order_idempotent():
+    engine = TotalEngine(VIEW, "b")
+    m1 = data("a", 1, "total")
+    engine.on_receive(m1)
+    so = SetOrder(group="g", view_seq=1, orders=[(1, ("a", 1))])
+    assert engine.on_set_order(so) == [m1]
+    assert engine.on_receive(data("a", 1, "total")) == []
+    assert engine.on_set_order(so) == []
+
+
+@given(st.permutations(list(range(1, 7))))
+def test_property_total_delivery_follows_global_sequence(order_arrival):
+    """Whatever order data and SetOrders arrive in, delivery follows the
+    global sequence exactly."""
+    engine = TotalEngine(VIEW, "b")
+    messages = {i: data("a", i, "total") for i in range(1, 7)}
+    delivered = []
+    for i in order_arrival:
+        delivered += engine.on_receive(messages[i])
+        delivered += engine.on_set_order(
+            SetOrder(group="g", view_seq=1, orders=[(i, ("a", i))])
+        )
+    assert [d.sender_seq for d in delivered] == [1, 2, 3, 4, 5, 6]
+
+
+# -- stability ----------------------------------------------------------------------
+
+
+def test_stability_tracks_watermarks_and_unstable():
+    tracker = StabilityTracker("a", ("a", "b", "c"))
+    m1, m2 = data("b", 1), data("b", 2)
+    tracker.record(m1)
+    tracker.record(m2)
+    assert tracker.watermarks()["b"] == 2
+    # nobody else has confirmed: everything unstable
+    assert len(tracker.unstable()) == 2
+    assert tracker.stable_floor("b") == 0
+
+
+def test_stability_gossip_truncates():
+    tracker = StabilityTracker("a", ("a", "b", "c"))
+    tracker.record(data("b", 1))
+    tracker.record(data("b", 2))
+    tracker.on_gossip("b", {"b": 2})
+    tracker.on_gossip("c", {"b": 1})
+    # min across peers: a=2 (self), b=2, c=1 -> floor 1
+    assert tracker.stable_floor("b") == 1
+    unstable = tracker.unstable()
+    assert [d.sender_seq for d in unstable] == [2]
+    assert tracker.log_size() == 1
+
+
+def test_stability_fully_stable_empties_log():
+    tracker = StabilityTracker("a", ("a", "b"))
+    tracker.record(data("b", 1))
+    tracker.on_gossip("b", {"b": 1})
+    assert tracker.unstable() == []
+    assert tracker.log_size() == 0
+
+
+def test_stability_ignores_departed_sender_and_stranger_gossip():
+    tracker = StabilityTracker("a", ("a", "b"))
+    tracker.record(data("z", 1))  # not a member
+    assert tracker.unstable() == []
+    tracker.on_gossip("zz", {"b": 9})  # stranger gossip ignored
+    assert tracker.stable_floor("b") == 0
+
+
+def test_stability_own_sends_recorded():
+    tracker = StabilityTracker("a", ("a", "b"))
+    tracker.record(data("a", 1))
+    assert [d.sender for d in tracker.unstable()] == ["a"]

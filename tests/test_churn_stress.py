@@ -1,0 +1,199 @@
+"""Randomised churn stress tests: virtual synchrony under crash/join/
+multicast interleavings across many seeds.
+
+Each scenario drives a group through a random event schedule, then checks
+the invariants the substrate promises:
+
+* all live members converge to an identical final view;
+* abcast deliveries form the same sequence at every member that
+  delivered them (prefix-closed per view);
+* fbcast deliveries respect per-sender order;
+* no message is delivered twice at any member;
+* virtual synchrony: two members that both pass from view v to view v+1
+  delivered exactly the same set of view-v messages.
+"""
+
+from dataclasses import dataclass
+
+from repro.membership import CAUSAL, FIFO, TOTAL, GroupNode, build_group
+from repro.net import FixedLatency
+from repro.proc import Environment
+from repro.sim import SimRandom
+
+
+@dataclass
+class Msg:
+    category = "app"
+    uid: str = ""
+
+
+class Recorder:
+    """Per-member delivery/view log for invariant checking."""
+
+    def __init__(self, member):
+        self.member = member
+        self.me = member.me
+        self.deliveries = []  # (view_seq, uid, ordering)
+        self.views = []  # list of GroupView
+        member.add_delivery_listener(self._on_delivery)
+        member.add_view_listener(lambda e: self.views.append(e.view))
+
+    def _on_delivery(self, event):
+        self.deliveries.append((event.view_seq, event.payload.uid, event.ordering))
+
+    def per_view(self, ordering=None):
+        out = {}
+        for view_seq, uid, kind in self.deliveries:
+            if ordering is None or kind == ordering:
+                out.setdefault(view_seq, []).append(uid)
+        return out
+
+    def transitions(self):
+        """Pairs (v, v+1) of consecutive view seqs this member installed."""
+        seqs = [v.seq for v in self.views]
+        return {(a, b) for a, b in zip(seqs, seqs[1:]) if b == a + 1}
+
+
+def run_scenario(seed: int):
+    rng = SimRandom(seed)
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", 6, gossip_interval=0.5)
+    recorders = {m.me: Recorder(m) for m in members}
+    counter = [0]
+
+    def multicast(index, ordering):
+        member = members[index]
+        if member.is_member and member.runtime.process.alive:
+            counter[0] += 1
+            member.multicast(Msg(uid=f"{member.me}#{counter[0]}"), ordering)
+
+    # random schedule: bursts of multicasts, up to two crashes, one joiner
+    t = 0.5
+    crashes = 0
+    joined = []
+    for _ in range(rng.randint(15, 25)):
+        t += rng.uniform(0.05, 0.4)
+        action = rng.random()
+        if action < 0.70:
+            index = rng.randint(0, 5)
+            ordering = rng.choice([FIFO, FIFO, CAUSAL, TOTAL])
+            env.scheduler.at(t, lambda i=index, o=ordering: multicast(i, o))
+        elif action < 0.85 and crashes < 2:
+            crashes += 1
+            index = rng.randint(0, 5)
+            env.scheduler.at(t, lambda i=index: nodes[i].crash())
+        elif not joined:
+            node = GroupNode(env, "late")
+            member = node.runtime.join_group("g", contact="g-3")
+            joined.append(member)
+            recorders["late"] = Recorder(member)
+    env.run_for(t + 15.0)
+    return env, nodes, members, recorders, joined
+
+
+def check_invariants(seed, env, nodes, members, recorders, joined):
+    pool = list(members) + joined
+    live = [m for m in pool if m.runtime.process.alive and m.is_member]
+    assert live, f"seed {seed}: everyone died?"
+
+    # 1. converged final views
+    finals = {m.view for m in live}
+    assert len(finals) == 1, f"seed {seed}: divergent final views {finals}"
+
+    # 2. identical abcast sequence per view
+    for view_seq in range(1, live[0].view.seq + 1):
+        sequences = {}
+        for m in live:
+            rec = recorders[m.me]
+            per = rec.per_view(TOTAL)
+            if view_seq in per:
+                sequences.setdefault(tuple(per[view_seq]), set()).add(m.me)
+        # all members that delivered total messages in this view must have
+        # delivered the same prefix-closed sequence; allow sequences where
+        # one is a prefix of another (a member may have joined mid-view —
+        # impossible here, so require strict equality)
+        assert len(sequences) <= 1, (
+            f"seed {seed}: view {view_seq} abcast divergence {sequences}"
+        )
+
+    # 3. fbcast per-sender order
+    for m in live:
+        rec = recorders[m.me]
+        last_by_sender = {}
+        for view_seq, uid, kind in rec.deliveries:
+            if kind != FIFO:
+                continue
+            sender, _, num = uid.partition("#")
+            num = int(num)
+            key = (view_seq, sender)
+            assert last_by_sender.get(key, 0) < num, (
+                f"seed {seed}: {m.me} fifo order broken for {sender}"
+            )
+            last_by_sender[key] = num
+
+    # 4. no duplicate deliveries
+    for m in pool:
+        rec = recorders[m.me]
+        uids = [(v, u) for v, u, _ in rec.deliveries]
+        assert len(uids) == len(set(uids)), f"seed {seed}: duplicate at {m.me}"
+
+    # 5. virtual synchrony across shared transitions
+    for a in pool:
+        for b in pool:
+            if a.me >= b.me:
+                continue
+            shared = recorders[a.me].transitions() & recorders[b.me].transitions()
+            for v, _next in shared:
+                set_a = set(recorders[a.me].per_view().get(v, []))
+                set_b = set(recorders[b.me].per_view().get(v, []))
+                assert set_a == set_b, (
+                    f"seed {seed}: vsync violated in view {v} between "
+                    f"{a.me} ({set_a}) and {b.me} ({set_b})"
+                )
+
+
+def test_churn_stress_many_seeds():
+    for seed in range(12):
+        env, nodes, members, recorders, joined = run_scenario(seed)
+        check_invariants(seed, env, nodes, members, recorders, joined)
+
+
+def test_churn_stress_with_message_loss():
+    for seed in (100, 101, 102, 103):
+        rng = SimRandom(seed)
+        env = Environment(
+            seed=seed, latency=FixedLatency(0.002), drop_probability=0.15
+        )
+        nodes, members = build_group(env, "g", 5, gossip_interval=0.5)
+        recorders = {m.me: Recorder(m) for m in members}
+        counter = [0]
+        t = 0.5
+        for _ in range(15):
+            t += rng.uniform(0.05, 0.3)
+            index = rng.randint(0, 4)
+            ordering = rng.choice([FIFO, TOTAL])
+
+            def cast(i=index, o=ordering):
+                if members[i].is_member and nodes[i].alive:
+                    counter[0] += 1
+                    members[i].multicast(Msg(uid=f"g-{i}#{counter[0]}"), o)
+
+            env.scheduler.at(t, cast)
+        env.scheduler.at(t / 2, lambda: nodes[2].crash())
+        env.run_for(t + 25.0)
+        check_invariants(seed, env, nodes, members, recorders, [])
+
+
+def test_churn_stress_rapid_sequential_crashes():
+    for seed in (200, 201, 202):
+        env = Environment(seed=seed, latency=FixedLatency(0.002))
+        nodes, members = build_group(env, "g", 8, gossip_interval=None)
+        recorders = {m.me: Recorder(m) for m in members}
+        for i in range(8):
+            members[i].multicast(Msg(uid=f"g-{i}#{i}"), TOTAL)
+        # three crashes in quick succession, including the sequencer
+        env.scheduler.at(0.01, lambda: nodes[0].crash())
+        env.scheduler.at(0.05, lambda: nodes[1].crash())
+        env.scheduler.at(0.30, lambda: nodes[4].crash())
+        env.run_for(20.0)
+        check_invariants(seed, env, nodes, members, recorders, [])

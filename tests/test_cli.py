@@ -1,0 +1,48 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import subprocess
+import sys
+
+from repro.__main__ import main
+
+
+def test_demo_subcommand(capsys):
+    assert main(["demo", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "view after one crash" in out
+
+
+def test_scale_subcommand(capsys):
+    assert main(["scale", "--workers", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "processes disturbed by one failure" in out
+    assert "hierarchical" in out
+
+
+def test_trading_subcommand(capsys):
+    assert main(["trading", "--analysts", "16", "--duration", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "trading room, 16 analysts" in out
+    assert "tick p99" in out
+
+
+def test_factory_subcommand(capsys):
+    assert main(["factory", "--cells", "12", "--duration", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "factory, 12 work cells" in out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_module_invocation():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--version"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert result.stdout.strip()

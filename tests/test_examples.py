@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion and prints what
+its docstring promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "three orderings" in out
+    assert "installed view #2" in out
+    assert "newcomer received application state" in out
+    assert "delivery sequences observed: {(0, 1, 2)}" in out
+
+
+def test_trading_room():
+    out = run_example("trading_room.py")
+    assert "leaf" in out
+    assert "tick p99 latency" in out
+    assert "leaf-lost" in out
+
+
+def test_factory_control():
+    out = run_example("factory_control.py")
+    rows = {" ".join(line.split()) for line in out.splitlines()}
+    assert "inventory replicas consistent yes" in rows
+    assert "shift change applied atomically yes" in rows
+
+
+def test_replicated_kv():
+    out = run_example("replicated_kv.py")
+    assert "users after two locked increments: 44" in out
+    assert "transaction committed: True" in out
+
+
+def test_partition_demo():
+    out = run_example("partition_demo.py")
+    assert "DIVERGED" in out
+    assert "minority stalled" in out
+    assert "no split brain" in out
+    assert "coast to coast" not in out  # payload text should not leak
+    assert "sfo.a" in out

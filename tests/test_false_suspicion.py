@@ -1,0 +1,82 @@
+"""False-suspicion handling: the excluded-but-alive member learns of its
+exclusion and can rejoin."""
+
+from dataclasses import dataclass
+
+from repro.membership import FIFO, build_group
+from repro.net import FixedLatency
+from repro.proc import Environment
+
+
+@dataclass
+class App:
+    category = "app"
+    tag: str = ""
+
+
+def make(n, seed=1):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", n)
+    return env, nodes, members
+
+
+def falsely_suspect(members, victim_address):
+    """Inject suspicion of a perfectly healthy member at everyone else."""
+    for m in members:
+        if m.me != victim_address:
+            m._on_suspect(victim_address)
+
+
+def test_falsely_suspected_member_learns_of_exclusion():
+    env, nodes, members, = make(4)
+    falsely_suspect(members, "g-2")
+    env.run_for(5.0)
+    assert members[2].excluded
+    assert not members[2].is_member
+    survivors = [members[i] for i in (0, 1, 3)]
+    for m in survivors:
+        assert m.view.members == ("g-0", "g-1", "g-3")
+
+
+def test_excluded_member_rejoins_cleanly():
+    env, nodes, members = make(4)
+    falsely_suspect(members, "g-2")
+    env.run_for(5.0)
+    assert members[2].excluded
+    rejoined = nodes[2].runtime.rejoin_group("g", contact="g-0")
+    env.run_for(5.0)
+    assert rejoined.is_member
+    assert rejoined.excluded is False
+    final = members[0].view
+    assert set(final.members) == {"g-0", "g-1", "g-2", "g-3"}
+    # and it participates normally again
+    got = []
+    rejoined.add_delivery_listener(lambda e: got.append(e.payload.tag))
+    members[1].multicast(App("welcome-back"), FIFO)
+    env.run_for(2.0)
+    assert got == ["welcome-back"]
+
+
+def test_excluded_member_cannot_multicast_meanwhile():
+    import pytest
+
+    from repro.membership import NotMemberError
+
+    env, nodes, members = make(3)
+    falsely_suspect(members, "g-1")
+    env.run_for(5.0)
+    assert members[1].excluded
+    with pytest.raises(NotMemberError):
+        members[1].multicast(App("nope"), FIFO)
+
+
+def test_view_event_signals_departed_self():
+    env, nodes, members = make(3)
+    events = []
+    members[1].add_view_listener(events.append)
+    falsely_suspect(members, "g-1")
+    env.run_for(5.0)
+    assert events
+    last = events[-1]
+    assert last.departed == ("g-1",)
+    assert not last.view.contains("g-1")

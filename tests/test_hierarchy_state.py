@@ -1,0 +1,223 @@
+"""Unit + property tests for the hierarchy data model (pure logic)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AddLeaf,
+    HierarchyError,
+    HierarchyState,
+    LargeGroupParams,
+    ROOT_BRANCH,
+    RemoveLeaf,
+    UpdateLeaf,
+)
+
+
+def make(resiliency=3, fanout=4, **kw):
+    params = LargeGroupParams(resiliency=resiliency, fanout=fanout, **kw)
+    return HierarchyState("svc", params), params
+
+
+def add(state, i, size=8):
+    contacts = tuple(f"m{i}-{j}" for j in range(size))
+    state.apply(AddLeaf(leaf_id=f"leaf-{i:03d}", size=size, contacts=contacts))
+
+
+# -- params ------------------------------------------------------------------------
+
+
+def test_params_defaults_follow_paper():
+    p = LargeGroupParams(resiliency=3, fanout=8)
+    assert p.leaf_min == 8  # max(resiliency, fanout)
+    assert p.leaf_split_threshold == 16
+    assert p.leader_group_size == 3
+
+
+def test_params_overrides():
+    p = LargeGroupParams(resiliency=5, fanout=2, min_leaf_size=4, leader_size=7)
+    assert p.leaf_min == 4
+    assert p.leader_group_size == 7
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        LargeGroupParams(resiliency=0)
+    with pytest.raises(ValueError):
+        LargeGroupParams(fanout=0)
+    with pytest.raises(ValueError):
+        LargeGroupParams(split_factor=1.0)
+
+
+# -- ops ---------------------------------------------------------------------------
+
+
+def test_add_and_remove_leaf():
+    state, _ = make()
+    add(state, 0)
+    assert state.total_size == 8
+    assert state.leaf("leaf-000").size == 8
+    state.apply(RemoveLeaf(leaf_id="leaf-000"))
+    assert state.total_size == 0
+    assert not state.leaves
+
+
+def test_contacts_truncated_to_resiliency():
+    state, params = make(resiliency=2)
+    add(state, 0, size=8)
+    assert len(state.leaf("leaf-000").contacts) == 2
+
+
+def test_duplicate_add_rejected():
+    state, _ = make()
+    add(state, 0)
+    with pytest.raises(HierarchyError):
+        add(state, 0)
+
+
+def test_update_unknown_leaf_rejected():
+    state, _ = make()
+    with pytest.raises(HierarchyError):
+        state.apply(UpdateLeaf(leaf_id="nope", size=1, contacts=("a",)))
+
+
+def test_update_changes_size_and_contacts():
+    state, _ = make()
+    add(state, 0)
+    state.apply(UpdateLeaf(leaf_id="leaf-000", size=3, contacts=("x", "y", "z")))
+    leaf = state.leaf("leaf-000")
+    assert leaf.size == 3
+    assert leaf.contacts == ("x", "y", "z")
+
+
+# -- tree shape ---------------------------------------------------------------------
+
+
+def test_small_leaf_count_hangs_off_root():
+    state, _ = make(fanout=4)
+    for i in range(4):
+        add(state, i)
+    assert len(state.branches) == 1
+    assert state.depth() == 2
+    assert set(state.branches[ROOT_BRANCH].children) == set(state.leaves)
+
+
+def test_fanout_bound_always_respected():
+    state, _ = make(fanout=4)
+    for i in range(64):
+        add(state, i)
+    assert state.max_branch_children() <= 4
+    assert state.depth() == 4  # 64 leaves = 16 branches = 4 under root
+
+
+def test_depth_is_logarithmic():
+    state, _ = make(fanout=8)
+    for i in range(65):  # just past 8^2 -> depth 3 branches + leaf level
+        add(state, i)
+    assert state.depth() == 4
+
+
+def test_parent_pointers_consistent_after_churn():
+    state, _ = make(fanout=3)
+    for i in range(30):
+        add(state, i)
+    for i in range(0, 30, 2):
+        state.apply(RemoveLeaf(leaf_id=f"leaf-{i:03d}"))
+    for leaf_id, leaf in state.leaves.items():
+        assert leaf_id in state.branches[leaf.parent].children
+    for branch_id, branch in state.branches.items():
+        if branch.parent is not None:
+            assert branch_id in state.branches[branch.parent].children
+    assert set(state.leaf_ids_under(ROOT_BRANCH)) == set(state.leaves)
+
+
+def test_replicas_agree_applying_same_ops():
+    ops = [AddLeaf(f"l{i}", size=i + 1, contacts=(f"c{i}",)) for i in range(12)]
+    ops += [RemoveLeaf("l3"), RemoveLeaf("l7")]
+    ops += [UpdateLeaf("l5", size=99, contacts=("zz",))]
+    a, _ = make(fanout=3)
+    b, _ = make(fanout=3)
+    for op in ops:
+        a.apply(op)
+        b.apply(op)
+    assert a.branches == b.branches
+    assert a.leaves == b.leaves
+
+
+# -- policy queries ---------------------------------------------------------------
+
+
+def test_smallest_leaf_deterministic_tiebreak():
+    state, _ = make()
+    add(state, 1, size=5)
+    add(state, 0, size=5)
+    assert state.smallest_leaf().leaf_id == "leaf-000"
+
+
+def test_split_and_merge_detection():
+    state, params = make(resiliency=2, fanout=4)  # leaf_min=4, split at >8
+    add(state, 0, size=9)
+    add(state, 1, size=3)
+    add(state, 2, size=5)
+    assert [l.leaf_id for l in state.leaves_needing_split()] == ["leaf-000"]
+    assert [l.leaf_id for l in state.leaves_needing_merge()] == ["leaf-001"]
+
+
+def test_single_leaf_never_merges():
+    state, _ = make(resiliency=2, fanout=4)
+    add(state, 0, size=1)
+    assert state.leaves_needing_merge() == []
+
+
+def test_merge_target_is_smallest_other():
+    state, _ = make()
+    add(state, 0, size=2)
+    add(state, 1, size=9)
+    add(state, 2, size=5)
+    assert state.merge_target_for("leaf-000").leaf_id == "leaf-002"
+    assert state.merge_target_for("leaf-000").leaf_id != "leaf-000"
+
+
+def test_storage_entries_bounded_per_leaf():
+    state, params = make(resiliency=3, fanout=8)
+    for i in range(40):
+        add(state, i, size=12)
+    # each leaf contributes at most 2 + resiliency entries
+    assert state.storage_entries() <= 40 * (2 + 3) + sum(
+        1 + len(b.children) for b in state.branches.values()
+    )
+
+
+# -- properties --------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["add", "remove", "update"]), st.integers(0, 19)),
+        max_size=60,
+    ),
+    st.integers(2, 6),
+)
+def test_property_tree_invariants_under_random_ops(ops, fanout):
+    params = LargeGroupParams(resiliency=2, fanout=fanout)
+    state = HierarchyState("svc", params)
+    for kind, i in ops:
+        leaf_id = f"leaf-{i:03d}"
+        try:
+            if kind == "add":
+                state.apply(AddLeaf(leaf_id, size=i + 1, contacts=(f"c{i}",)))
+            elif kind == "remove":
+                state.apply(RemoveLeaf(leaf_id))
+            else:
+                state.apply(UpdateLeaf(leaf_id, size=i + 2, contacts=(f"d{i}",)))
+        except HierarchyError:
+            continue
+        # invariants hold after every applied op
+        assert state.max_branch_children() <= fanout
+        assert set(state.leaf_ids_under(ROOT_BRANCH)) == set(state.leaves)
+        for leaf_id2, leaf in state.leaves.items():
+            assert leaf_id2 in state.branches[leaf.parent].children
+        for branch_id, branch in state.branches.items():
+            if branch.parent is not None:
+                assert branch_id in state.branches[branch.parent].children

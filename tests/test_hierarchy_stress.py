@@ -1,0 +1,123 @@
+"""Randomised churn stress for hierarchical groups: joins and crashes
+interleaved at scale, checking leader/leaf consistency afterwards."""
+
+from repro.core import (
+    LargeGroupMember,
+    LargeGroupParams,
+    build_large_group,
+    build_leader_group,
+)
+from repro.membership import GroupNode
+from repro.net import FixedLatency
+from repro.proc import Environment
+from repro.sim import SimRandom
+
+
+def run_churn(seed: int, initial: int = 24, extra_joins: int = 6, crashes: int = 6):
+    rng = SimRandom(seed)
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    params = LargeGroupParams(resiliency=2, fanout=4)
+    leaders = build_leader_group(env, "svc", params)
+    contacts = tuple(r.node.address for r in leaders)
+    members = build_large_group(env, "svc", initial, params, contacts)
+    env.run_for(5.0 + 0.3 * initial)
+
+    # interleave late joins and crashes over ten simulated seconds
+    t = env.now
+    for j in range(extra_joins):
+        node = GroupNode(env, f"late-{seed}-{j}")
+        member = LargeGroupMember(node, "svc", contacts)
+        members.append(member)
+        env.scheduler.at(t + rng.uniform(0.0, 10.0), member.join)
+    victims = rng.sample(range(initial), crashes)
+    for index in victims:
+        env.scheduler.at(
+            t + rng.uniform(0.0, 10.0),
+            lambda i=index: members[i].node.crash(),
+        )
+    env.run_for(40.0)
+    return env, params, leaders, members
+
+
+def check_hierarchy_invariants(seed, env, params, leaders, members):
+    live_leaders = [r for r in leaders if r.node.alive]
+    managers = [r for r in live_leaders if r.is_manager]
+    assert len(managers) == 1, f"seed {seed}: managers={managers}"
+    manager = managers[0]
+    state = manager.state
+
+    live = [m for m in members if m.node.alive]
+    placed = [m for m in live if m.is_member]
+    # every live worker ends up placed
+    assert len(placed) == len(live), (
+        f"seed {seed}: {len(live) - len(placed)} live workers unplaced"
+    )
+
+    # leader accounting matches reality
+    actual = {}
+    for m in placed:
+        actual.setdefault(m.leaf_id, set()).add(m.me)
+    assert set(actual) == set(state.leaves), (
+        f"seed {seed}: leader leaves {set(state.leaves)} vs actual {set(actual)}"
+    )
+    for leaf_id, members_set in actual.items():
+        assert state.leaf(leaf_id).size == len(members_set), (
+            f"seed {seed}: size drift at {leaf_id}"
+        )
+
+    # each leaf's members agree on one view containing exactly them
+    for leaf_id, members_set in actual.items():
+        views = {
+            tuple(m.leaf_member.view.members)
+            for m in placed
+            if m.leaf_id == leaf_id
+        }
+        assert len(views) == 1, f"seed {seed}: leaf {leaf_id} view split {views}"
+        assert set(next(iter(views))) == members_set
+
+    # leaf sizes within configured bounds (single remaining leaf may be
+    # small; oversized leaves must not persist)
+    for leaf in state.leaves.values():
+        assert leaf.size <= params.leaf_split_threshold, (
+            f"seed {seed}: leaf {leaf.leaf_id} oversized ({leaf.size})"
+        )
+
+    # replicated hierarchy state identical at all live leader replicas
+    for replica in live_leaders:
+        assert replica.state.leaves == state.leaves, (
+            f"seed {seed}: leader replica divergence"
+        )
+
+    # branch tree invariants
+    assert state.max_branch_children() <= params.fanout
+
+
+def test_hierarchy_churn_across_seeds():
+    for seed in range(6):
+        env, params, leaders, members = run_churn(seed)
+        check_hierarchy_invariants(seed, env, params, leaders, members)
+
+
+def test_hierarchy_churn_with_manager_crash():
+    for seed in (50, 51):
+        env, params, leaders, members = run_churn(seed, crashes=4)
+        # also kill the manager mid-flight and let a replica take over
+        manager = next(r for r in leaders if r.is_manager)
+        manager.node.crash()
+        env.run_for(30.0)
+        check_hierarchy_invariants(seed, env, params, leaders, members)
+
+
+def test_hierarchy_whole_leaf_massacre():
+    env, params, leaders, members = run_churn(77, crashes=0)
+    manager = next(r for r in leaders if r.is_manager)
+    # kill every member of two leaves simultaneously
+    doomed_leaves = sorted(manager.state.leaves)[:2]
+    for m in members:
+        if m.leaf_id in doomed_leaves and m.node.alive:
+            m.node.crash()
+    env.run_for(30.0)
+    check_hierarchy_invariants(77, env, params, leaders, members)
+    manager = next(r for r in leaders if r.is_manager and r.node.alive)
+    for leaf_id in doomed_leaves:
+        assert leaf_id not in manager.state.leaves

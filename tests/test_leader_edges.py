@@ -1,0 +1,209 @@
+"""Edge-case tests for the leader replica, runtime multi-group support and
+membership corner cases."""
+
+from repro.core import (
+    GetHierarchyInfo,
+    GetLeafAssignment,
+    JoinLarge,
+    LargeGroupParams,
+    ReportLeafStatus,
+    build_large_group,
+    build_leader_group,
+)
+from repro.membership import FIFO, GroupNode, NotMemberError, build_group
+from repro.net import FixedLatency
+from repro.proc import Environment
+
+import pytest
+
+
+def build_service(n=8, seed=1, resiliency=3, fanout=4):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    params = LargeGroupParams(resiliency=resiliency, fanout=fanout)
+    leaders = build_leader_group(env, "svc", params)
+    contacts = tuple(r.node.address for r in leaders)
+    members = build_large_group(env, "svc", n, params, contacts)
+    env.run_for(5.0 + 0.3 * n)
+    return env, params, leaders, members
+
+
+def rpc_once(env, node, target, body, timeout=1.0):
+    replies = []
+    node.runtime.rpc.call(
+        target, body, on_reply=lambda v, s: replies.append(v), timeout=timeout
+    )
+    env.run_for(timeout + 1.0)
+    return replies
+
+
+# -- leader RPC behaviour -------------------------------------------------------------
+
+
+def test_non_manager_replica_redirects_joins():
+    env, params, leaders, members = build_service()
+    probe = GroupNode(env, "probe")
+    replica = leaders[1]  # not the manager
+    assert not replica.is_manager
+    replies = rpc_once(
+        env, probe, replica.node.address, JoinLarge(service="svc", joiner="probe")
+    )
+    assert replies and replies[0][0] == "redirect"
+    assert replies[0][1] == leaders[0].node.address
+
+
+def test_non_manager_redirects_assignment_and_reports():
+    env, params, leaders, members = build_service()
+    probe = GroupNode(env, "probe")
+    target = leaders[2].node.address
+    r1 = rpc_once(env, probe, target, GetLeafAssignment(service="svc"))
+    assert r1 and r1[0][0] == "redirect"
+    r2 = rpc_once(
+        env,
+        probe,
+        target,
+        ReportLeafStatus(service="svc", leaf_id="x", size=1, contacts=("probe",)),
+    )
+    assert r2 and r2[0][0] == "redirect"
+
+
+def test_stale_leaf_report_acknowledged_as_stale():
+    env, params, leaders, members = build_service()
+    probe = GroupNode(env, "probe")
+    manager = leaders[0]
+    replies = rpc_once(
+        env,
+        probe,
+        manager.node.address,
+        ReportLeafStatus(
+            service="svc", leaf_id="never-existed", size=3, contacts=("probe",)
+        ),
+    )
+    assert replies == [("stale",)]
+    assert "never-existed" not in manager.state.leaves
+
+
+def test_hierarchy_info_served_by_any_replica():
+    env, params, leaders, members = build_service()
+    probe = GroupNode(env, "probe")
+    # info is read-only; even a cohort replica answers from its replica
+    replies = rpc_once(
+        env, probe, leaders[1].node.address, GetHierarchyInfo(service="svc")
+    )
+    assert replies and replies[0]["total_size"] == 8
+
+
+def test_assignment_round_robin_cursor():
+    env, params, leaders, members = build_service(n=12, fanout=2, resiliency=2)
+    probe = GroupNode(env, "probe")
+    manager = next(r for r in leaders if r.is_manager)
+    seen = []
+    for _ in range(4):
+        replies = rpc_once(
+            env, probe, manager.node.address, GetLeafAssignment(service="svc")
+        )
+        seen.append(replies[0][1])
+    assert len(set(seen)) >= 2  # rotates across leaves
+
+
+def test_assignment_fails_when_no_members():
+    env = Environment(seed=3, latency=FixedLatency(0.002))
+    params = LargeGroupParams(resiliency=2, fanout=4)
+    leaders = build_leader_group(env, "svc", params)
+    env.run_for(2.0)
+    probe = GroupNode(env, "probe")
+    replies = rpc_once(
+        env, probe, leaders[0].node.address, GetLeafAssignment(service="svc")
+    )
+    assert replies == [None]  # RpcError surfaced as error reply
+
+
+def test_leader_events_record_ops_and_manager():
+    env, params, leaders, members = build_service()
+    manager = leaders[0]
+    kinds = {e[0] for e in manager.events}
+    assert "manager" in kinds
+    assert "op" in kinds
+
+
+# -- runtime multi-group behaviour -----------------------------------------------------
+
+
+def test_one_process_in_two_groups_routes_independently():
+    env = Environment(seed=5, latency=FixedLatency(0.002))
+    shared = GroupNode(env, "shared")
+    others_a = [GroupNode(env, f"a{i}") for i in range(2)]
+    others_b = [GroupNode(env, f"b{i}") for i in range(2)]
+    ga_members = ["shared", "a0", "a1"]
+    gb_members = ["shared", "b0", "b1"]
+    ga = [shared.runtime.create_group("ga", ga_members)] + [
+        n.runtime.create_group("ga", ga_members) for n in others_a
+    ]
+    gb = [shared.runtime.create_group("gb", gb_members)] + [
+        n.runtime.create_group("gb", gb_members) for n in others_b
+    ]
+    got_a, got_b = [], []
+    ga[1].add_delivery_listener(lambda e: got_a.append(e.payload))
+    gb[1].add_delivery_listener(lambda e: got_b.append(e.payload))
+
+    from dataclasses import dataclass
+
+    @dataclass
+    class Note:
+        category = "note"
+        text: str = ""
+
+    ga[0].multicast(Note("to-a"), FIFO)
+    gb[0].multicast(Note("to-b"), FIFO)
+    env.run_for(1.0)
+    assert [n.text for n in got_a] == ["to-a"]
+    assert [n.text for n in got_b] == ["to-b"]
+    assert shared.runtime.has_group("ga") and shared.runtime.has_group("gb")
+    assert len(shared.runtime.groups) == 2
+
+
+def test_forget_group_stops_participation():
+    env = Environment(seed=6, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", 3)
+    nodes[2].runtime.forget_group("g")
+    assert not nodes[2].runtime.has_group("g")
+    # the others eventually exclude the silent member on flush timeout;
+    # in the meantime their multicasts still flow to each other
+    from dataclasses import dataclass
+
+    @dataclass
+    class Note:
+        category = "note"
+        text: str = ""
+
+    got = []
+    members[1].add_delivery_listener(lambda e: got.append(e.payload.text))
+    members[0].multicast(Note("still-works"), FIFO)
+    env.run_for(1.0)
+    assert got == ["still-works"]
+
+
+def test_create_group_requires_self_in_membership():
+    env = Environment(seed=7)
+    node = GroupNode(env, "x")
+    with pytest.raises(ValueError):
+        node.runtime.create_group("g", ["someone-else"])
+
+
+def test_duplicate_group_membership_rejected():
+    env = Environment(seed=8)
+    node = GroupNode(env, "x")
+    node.runtime.create_group("g", ["x"])
+    with pytest.raises(ValueError):
+        node.runtime.create_group("g", ["x"])
+    with pytest.raises(ValueError):
+        node.runtime.join_group("g", contact="y")
+
+
+def test_left_member_cannot_multicast():
+    env = Environment(seed=9, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", 3)
+    members[2].leave()
+    env.run_for(3.0)
+    assert members[2].left
+    with pytest.raises(NotMemberError):
+        members[2].multicast("nope", FIFO)

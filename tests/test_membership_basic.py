@@ -1,0 +1,157 @@
+"""Integration tests: group bootstrap, multicast orderings, basic delivery."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.membership import CAUSAL, FIFO, TOTAL, NotMemberError, build_group
+from repro.net import FixedLatency
+from repro.proc import Environment
+
+
+@dataclass
+class App:
+    category = "app"
+    tag: str = ""
+
+
+def make(n, seed=1, **kwargs):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", n, **kwargs)
+    logs = {m.me: [] for m in members}
+    views = {m.me: [] for m in members}
+    for m in members:
+        m.add_delivery_listener(
+            lambda e, me=m.me: logs[me].append((e.payload.tag, e.sender))
+        )
+        m.add_view_listener(lambda e, me=m.me: views[me].append(e))
+    return env, nodes, members, logs, views
+
+
+def test_bootstrap_installs_common_view():
+    env, nodes, members, logs, views = make(4)
+    assert all(m.view.seq == 1 for m in members)
+    assert all(m.view.members == members[0].view.members for m in members)
+    assert members[0].view.coordinator == "g-0"
+    assert all(m.is_member for m in members)
+    assert all(m.view.rank_of(m.me) == i for i, m in enumerate(members))
+
+
+def test_fifo_multicast_reaches_everyone_including_sender():
+    env, nodes, members, logs, views = make(3)
+    members[1].multicast(App("x"), FIFO)
+    env.run_for(1.0)
+    for m in members:
+        assert logs[m.me] == [("x", "g-1")]
+
+
+def test_fifo_per_sender_order():
+    env, nodes, members, logs, views = make(3)
+    for i in range(5):
+        members[0].multicast(App(f"m{i}"), FIFO)
+    env.run_for(1.0)
+    for m in members:
+        assert [t for t, _ in logs[m.me]] == [f"m{i}" for i in range(5)]
+
+
+def test_causal_multicast_basic_order():
+    env, nodes, members, logs, views = make(3)
+    members[0].multicast(App("a"), CAUSAL)
+    env.run_for(1.0)
+    members[1].multicast(App("b"), CAUSAL)  # causally after "a"
+    env.run_for(1.0)
+    for m in members:
+        assert [t for t, _ in logs[m.me]] == ["a", "b"]
+
+
+def test_total_order_identical_everywhere():
+    env, nodes, members, logs, views = make(5)
+    # Concurrent abcasts from several senders.
+    for i, m in enumerate(members):
+        m.multicast(App(f"t{i}"), TOTAL)
+    env.run_for(2.0)
+    sequences = [tuple(logs[m.me]) for m in members]
+    assert len(set(sequences)) == 1
+    assert len(sequences[0]) == 5
+
+
+def test_total_order_interleaved_rounds():
+    env, nodes, members, logs, views = make(4)
+    for round_no in range(4):
+        for m in members:
+            m.multicast(App(f"r{round_no}-{m.me}"), TOTAL)
+        env.run_for(0.05)
+    env.run_for(2.0)
+    sequences = [tuple(logs[m.me]) for m in members]
+    assert len(set(sequences)) == 1
+    assert len(sequences[0]) == 16
+
+
+def test_mixed_orderings_all_delivered():
+    env, nodes, members, logs, views = make(3)
+    members[0].multicast(App("f"), FIFO)
+    members[1].multicast(App("c"), CAUSAL)
+    members[2].multicast(App("t"), TOTAL)
+    env.run_for(2.0)
+    for m in members:
+        assert sorted(t for t, _ in logs[m.me]) == ["c", "f", "t"]
+
+
+def test_multicast_requires_membership():
+    env = Environment(seed=1)
+    from repro.membership import GroupNode
+
+    node = GroupNode(env, "lonely")
+    member = node.runtime.join_group("g", contact="nobody")
+    with pytest.raises(NotMemberError):
+        member.multicast(App("x"))
+
+
+def test_invalid_ordering_rejected():
+    env, nodes, members, logs, views = make(2)
+    with pytest.raises(ValueError):
+        members[0].multicast(App("x"), "bogus")
+
+
+def test_singleton_group_self_delivery():
+    env, nodes, members, logs, views = make(1)
+    members[0].multicast(App("solo"), FIFO)
+    members[0].multicast(App("solo-t"), TOTAL)
+    env.run_for(1.0)
+    assert [t for t, _ in logs["g-0"]] == ["solo", "solo-t"]
+
+
+def test_delivery_under_message_loss():
+    env = Environment(seed=3, latency=FixedLatency(0.002), drop_probability=0.25)
+    nodes, members = build_group(env, "g", 4)
+    logs = {m.me: [] for m in members}
+    for m in members:
+        m.add_delivery_listener(lambda e, me=m.me: logs[me].append(e.payload.tag))
+    for i in range(10):
+        members[i % 4].multicast(App(f"m{i}"), FIFO)
+    env.run_for(20.0)
+    for m in members:
+        assert sorted(logs[m.me]) == sorted(f"m{i}" for i in range(10))
+
+
+def test_total_order_under_message_loss():
+    env = Environment(seed=4, latency=FixedLatency(0.002), drop_probability=0.2)
+    nodes, members = build_group(env, "g", 4)
+    logs = {m.me: [] for m in members}
+    for m in members:
+        m.add_delivery_listener(lambda e, me=m.me: logs[me].append(e.payload.tag))
+    for i in range(8):
+        members[i % 4].multicast(App(f"m{i}"), TOTAL)
+    env.run_for(30.0)
+    sequences = [tuple(logs[m.me]) for m in members]
+    assert len(set(sequences)) == 1
+    assert len(sequences[0]) == 8
+
+
+def test_stability_gossip_truncates_logs():
+    env, nodes, members, logs, views = make(3, gossip_interval=0.2)
+    for i in range(5):
+        members[0].multicast(App(f"m{i}"), FIFO)
+    env.run_for(3.0)
+    for m in members:
+        assert m._stability.log_size() == 0

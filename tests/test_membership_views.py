@@ -1,0 +1,257 @@
+"""Integration tests: joins, leaves, failures, virtual synchrony."""
+
+from dataclasses import dataclass
+
+from repro.membership import FIFO, TOTAL, GroupNode, build_group
+from repro.net import FixedLatency
+from repro.proc import Environment
+
+
+@dataclass
+class App:
+    category = "app"
+    tag: str = ""
+
+
+def make(n, seed=1, **kwargs):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", n, **kwargs)
+    logs = {m.me: [] for m in members}
+    views = {m.me: [] for m in members}
+    for m in members:
+        m.add_delivery_listener(lambda e, me=m.me: logs[me].append(e.payload.tag))
+        m.add_view_listener(lambda e, me=m.me: views[me].append(e))
+    return env, nodes, members, logs, views
+
+
+# -- joins ---------------------------------------------------------------------
+
+
+def test_dynamic_join_installs_next_view():
+    env, nodes, members, logs, views = make(3)
+    joiner_node = GroupNode(env, "newbie")
+    joiner = joiner_node.runtime.join_group("g", contact="g-1")  # non-coordinator
+    env.run_for(3.0)
+    assert joiner.is_member
+    assert joiner.view.seq == 2
+    assert joiner.view.members == ("g-0", "g-1", "g-2", "newbie")
+    for m in members:
+        assert m.view.seq == 2
+        assert views[m.me][-1].joined == ("newbie",)
+
+
+def test_joiner_receives_state_transfer():
+    env, nodes, members, logs, views = make(2)
+    members[0].state_provider = lambda: {"counter": 42}
+    joiner_node = GroupNode(env, "newbie")
+    received = []
+    joiner = joiner_node.runtime.join_group("g", contact="g-0")
+    joiner.state_receiver = received.append
+    env.run_for(3.0)
+    assert joiner.is_member
+    assert received == [{"counter": 42}]
+
+
+def test_multiple_joiners_eventually_all_members():
+    env, nodes, members, logs, views = make(2)
+    joiners = []
+    for i in range(4):
+        node = GroupNode(env, f"j{i}")
+        joiners.append(node.runtime.join_group("g", contact="g-0"))
+    env.run_for(10.0)
+    assert all(j.is_member for j in joiners)
+    final = members[0].view
+    assert final.size == 6
+    assert all(j.view == final for j in joiners)
+    assert all(m.view == final for m in members)
+
+
+def test_join_then_multicast_reaches_joiner():
+    env, nodes, members, logs, views = make(2)
+    node = GroupNode(env, "j0")
+    joiner = node.runtime.join_group("g", contact="g-0")
+    env.run_for(3.0)
+    got = []
+    joiner.add_delivery_listener(lambda e: got.append(e.payload.tag))
+    members[1].multicast(App("hello"), FIFO)
+    env.run_for(1.0)
+    assert got == ["hello"]
+
+
+# -- graceful leaves ---------------------------------------------------------------
+
+
+def test_leave_removes_member():
+    env, nodes, members, logs, views = make(3)
+    members[2].leave()
+    env.run_for(3.0)
+    assert members[2].left
+    assert not members[2].is_member
+    assert members[0].view.members == ("g-0", "g-1")
+    assert members[1].view.members == ("g-0", "g-1")
+    assert views["g-0"][-1].departed == ("g-2",)
+
+
+def test_coordinator_leave_promotes_next_rank():
+    env, nodes, members, logs, views = make(3)
+    members[0].leave()
+    env.run_for(3.0)
+    assert members[0].left
+    assert members[1].view.members == ("g-1", "g-2")
+    assert members[1].view.coordinator == "g-1"
+    # the new coordinator can run further view changes
+    members[2].leave()
+    env.run_for(3.0)
+    assert members[1].view.members == ("g-1",)
+
+
+# -- failures -----------------------------------------------------------------------
+
+
+def test_member_crash_triggers_view_change():
+    env, nodes, members, logs, views = make(4)
+    nodes[2].crash()
+    env.run_for(5.0)
+    survivors = [members[i] for i in (0, 1, 3)]
+    for m in survivors:
+        assert m.view.seq == 2
+        assert m.view.members == ("g-0", "g-1", "g-3")
+        assert views[m.me][-1].departed == ("g-2",)
+
+
+def test_coordinator_crash_successor_takes_over():
+    env, nodes, members, logs, views = make(4)
+    nodes[0].crash()
+    env.run_for(5.0)
+    survivors = [members[i] for i in (1, 2, 3)]
+    for m in survivors:
+        assert m.view.members == ("g-1", "g-2", "g-3")
+        assert m.view.coordinator == "g-1"
+
+
+def test_simultaneous_double_crash():
+    env, nodes, members, logs, views = make(5)
+    nodes[1].crash()
+    nodes[3].crash()
+    env.run_for(5.0)
+    survivors = [members[i] for i in (0, 2, 4)]
+    for m in survivors:
+        assert m.view.members == ("g-0", "g-2", "g-4")
+
+
+def test_coordinator_and_successor_crash_together():
+    env, nodes, members, logs, views = make(5)
+    nodes[0].crash()
+    nodes[1].crash()
+    env.run_for(5.0)
+    survivors = [members[i] for i in (2, 3, 4)]
+    for m in survivors:
+        assert m.view.members == ("g-2", "g-3", "g-4")
+        assert m.view.coordinator == "g-2"
+
+
+def test_cascading_crashes_during_view_changes():
+    env, nodes, members, logs, views = make(6)
+    env.scheduler.at(0.5, lambda: nodes[0].crash())
+    env.scheduler.at(0.7, lambda: nodes[1].crash())
+    env.scheduler.at(0.9, lambda: nodes[2].crash())
+    env.run_for(10.0)
+    survivors = [members[i] for i in (3, 4, 5)]
+    for m in survivors:
+        assert m.view.members == ("g-3", "g-4", "g-5")
+
+
+def test_group_shrinks_to_singleton():
+    env, nodes, members, logs, views = make(3)
+    nodes[1].crash()
+    nodes[2].crash()
+    env.run_for(5.0)
+    assert members[0].view.members == ("g-0",)
+    members[0].multicast(App("alone"), TOTAL)
+    env.run_for(1.0)
+    assert logs["g-0"][-1] == "alone"
+
+
+def test_crash_and_join_interleaved():
+    env, nodes, members, logs, views = make(3)
+    env.scheduler.at(0.3, lambda: nodes[1].crash())
+    node = GroupNode(env, "j0")
+    joiner = node.runtime.join_group("g", contact="g-0")
+    env.run_for(8.0)
+    assert joiner.is_member
+    final = members[0].view
+    assert set(final.members) == {"g-0", "g-2", "j0"}
+    assert joiner.view == final
+
+
+# -- virtual synchrony ---------------------------------------------------------------
+
+
+def test_vsync_sender_crash_mid_multicast_all_or_none_among_survivors():
+    """A sender crashes right after multicasting: every survivor must
+    deliver the same message set before the next view."""
+    for seed in range(6):
+        env = Environment(seed=seed, latency=FixedLatency(0.002))
+        nodes, members = build_group(env, "g", 5)
+        logs = {m.me: [] for m in members}
+        view2_marker = {}
+        for m in members:
+            m.add_delivery_listener(
+                lambda e, me=m.me: logs[me].append(e.payload.tag)
+            )
+            m.add_view_listener(
+                lambda e, me=m.me: view2_marker.setdefault(me, len(logs[me]))
+                if e.view.seq == 2
+                else None
+            )
+        members[1].multicast(App("doomed"), FIFO)
+        nodes[1].crash()  # crash before any datagram is necessarily processed
+        env.run_for(5.0)
+        survivor_names = ["g-0", "g-2", "g-3", "g-4"]
+        in_view1 = {
+            name: set(logs[name][: view2_marker.get(name, len(logs[name]))])
+            for name in survivor_names
+        }
+        # all-or-nothing: identical view-1 delivery sets at every survivor
+        assert len({frozenset(s) for s in in_view1.values()}) == 1
+
+
+def test_vsync_total_order_survives_sequencer_crash():
+    for seed in range(6):
+        env = Environment(seed=seed, latency=FixedLatency(0.002))
+        nodes, members = build_group(env, "g", 5)
+        logs = {m.me: [] for m in members}
+        for m in members:
+            m.add_delivery_listener(
+                lambda e, me=m.me: logs[me].append(e.payload.tag)
+            )
+        for i, m in enumerate(members):
+            m.multicast(App(f"t{i}"), TOTAL)
+        nodes[0].crash()  # the sequencer dies with orders possibly unsent
+        env.run_for(8.0)
+        survivor_names = ["g-1", "g-2", "g-3", "g-4"]
+        sequences = [tuple(logs[name]) for name in survivor_names]
+        assert len(set(sequences)) == 1, f"seed={seed}: {sequences}"
+        # everything the survivors sent must be delivered
+        delivered = set(sequences[0])
+        assert {"t1", "t2", "t3", "t4"} <= delivered
+
+
+def test_messages_from_before_crash_not_lost():
+    env, nodes, members, logs, views = make(4)
+    members[0].multicast(App("pre"), FIFO)
+    env.run_for(1.0)
+    nodes[0].crash()
+    env.run_for(5.0)
+    for name in ("g-1", "g-2", "g-3"):
+        assert "pre" in logs[name]
+
+
+def test_view_change_counter_and_metrics():
+    env, nodes, members, logs, views = make(3)
+    nodes[2].crash()
+    env.run_for(5.0)
+    assert members[0].view_changes == 2  # bootstrap + failure view
+    members[0].multicast(App("x"), FIFO)
+    env.run_for(1.0)
+    assert members[0].deliveries >= 1

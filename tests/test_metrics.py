@@ -1,0 +1,171 @@
+"""Unit tests for the metrics helpers and table rendering."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    LatencySample,
+    data_messages,
+    fit_power_law,
+    format_table,
+    processes_touched,
+    view_storage_entries,
+)
+from repro.net.stats import NetworkStats
+
+
+def make_delta(categories=None, received=None):
+    stats = NetworkStats()
+    for category, count in (categories or {}).items():
+        for _ in range(count):
+            stats.record_send("x", category, 10)
+    for addr, count in (received or {}).items():
+        for _ in range(count):
+            stats.record_delivery(addr)
+    return stats.snapshot()
+
+
+def test_data_messages_sums_categories():
+    delta = make_delta({"a": 3, "b": 2, "c": 9})
+    assert data_messages(delta, ["a", "b"]) == 5
+    assert data_messages(delta, ["missing"]) == 0
+
+
+def test_processes_touched():
+    delta = make_delta(received={"p1": 2, "p2": 1})
+    assert processes_touched(delta) == 2
+
+
+def test_latency_sample_percentiles():
+    sample = LatencySample()
+    for v in range(1, 101):
+        sample.add(v / 100)
+    assert sample.count == 100
+    assert sample.p50 == 0.5
+    assert sample.p99 == 0.99
+    assert sample.max == 1.0
+    assert abs(sample.mean - 0.505) < 1e-9
+
+
+def test_latency_sample_empty():
+    sample = LatencySample()
+    assert sample.p50 == 0.0 and sample.mean == 0.0 and sample.max == 0.0
+
+
+def test_view_storage_entries():
+    assert view_storage_entries(["a", "b", "c"]) == 3
+
+
+def test_fit_power_law_recovers_exponents():
+    xs = [2, 4, 8, 16]
+    assert abs(fit_power_law(xs, [x * 3 for x in xs]) - 1.0) < 1e-9
+    assert abs(fit_power_law(xs, [x * x for x in xs]) - 2.0) < 1e-9
+    assert abs(fit_power_law(xs, [5.0] * 4) - 0.0) < 1e-9
+
+
+def test_fit_power_law_validation():
+    with pytest.raises(ValueError):
+        fit_power_law([1], [1])
+    with pytest.raises(ValueError):
+        fit_power_law([2, 2], [1, 4])  # degenerate x
+    with pytest.raises(ValueError):
+        fit_power_law([0, 0], [0, 0])  # no positive points
+
+
+def test_format_table_alignment_and_note():
+    text = format_table(
+        "demo", ["col", "value"], [["aa", 1], ["b", 22.5]], note="hello"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "== demo =="
+    assert "col" in lines[1] and "value" in lines[1]
+    assert lines[2].startswith("---")
+    assert "22.50" in text
+    assert lines[-1] == "note: hello"
+
+
+def test_format_table_float_formats():
+    text = format_table("t", ["v"], [[0.00123], [1234.5], [3.14159], [0]])
+    assert "0.0012" in text
+    assert "1234" in text  # large floats keep no decimals
+    assert "3.14" in text
+
+
+def test_format_table_empty_rows():
+    text = format_table("t", ["a", "b"], [])
+    assert "== t ==" in text
+
+
+# -- time-series recorder --------------------------------------------------------
+
+
+def test_recorder_samples_at_interval():
+    from repro.metrics import TimeSeriesRecorder
+    from repro.proc import Environment
+
+    env = Environment(seed=1)
+    recorder = TimeSeriesRecorder(env, interval=0.5)
+    clock = {"n": 0}
+    recorder.probe("n", lambda: clock["n"])
+    recorder.start()
+    for step in range(6):
+        env.scheduler.at(step * 0.5 + 0.01, lambda: clock.__setitem__("n", clock["n"] + 1))
+    env.run(until=3.0)
+    values = recorder.values("n")
+    assert len(values) == 6
+    assert values == sorted(values)
+    assert recorder.last("n") == 6
+
+
+def test_recorder_summary_and_rate():
+    from repro.metrics import TimeSeriesRecorder
+    from repro.proc import Environment
+
+    env = Environment(seed=1)
+    recorder = TimeSeriesRecorder(env, interval=1.0)
+    total = {"v": 0}
+    recorder.probe("total", lambda: total["v"])
+    recorder.start()
+    env.scheduler.at(0.5, lambda: total.__setitem__("v", 10))
+    env.scheduler.at(1.5, lambda: total.__setitem__("v", 30))
+    env.run(until=3.0)
+    summary = recorder.summary("total")
+    assert summary["count"] == 3
+    assert summary["min"] == 10 and summary["max"] == 30
+    rates = recorder.rate_series("total")
+    assert [r for _t, r in rates] == [20, 0]
+
+
+def test_recorder_stop_and_validation():
+    import pytest
+    from repro.metrics import TimeSeriesRecorder
+    from repro.proc import Environment
+
+    env = Environment(seed=1)
+    with pytest.raises(ValueError):
+        TimeSeriesRecorder(env, interval=0)
+    recorder = TimeSeriesRecorder(env, interval=0.5)
+    recorder.probe("x", lambda: 1.0)
+    with pytest.raises(ValueError):
+        recorder.probe("x", lambda: 2.0)
+    recorder.start()
+    env.run(until=1.2)
+    recorder.stop()
+    env.run(until=5.0)
+    assert recorder.summary("x")["count"] == 2
+    assert recorder.summary("missing")["count"] == 0
+
+
+def test_recorder_broken_probe_does_not_kill_run():
+    from repro.metrics import TimeSeriesRecorder
+    from repro.proc import Environment
+
+    env = Environment(seed=1)
+    recorder = TimeSeriesRecorder(env, interval=0.5)
+    recorder.probe("bad", lambda: 1 / 0)
+    recorder.probe("good", lambda: 7.0)
+    recorder.start()
+    env.run(until=2.0)
+    assert recorder.values("bad") == []
+    assert recorder.values("good") == [7.0] * 4

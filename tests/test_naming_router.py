@@ -1,0 +1,187 @@
+"""Tests for the name service and client-side service router."""
+
+from repro.core import (
+    LargeGroupParams,
+    LookupName,
+    NameClient,
+    RegisterName,
+    ServiceRouter,
+    UnregisterName,
+    build_large_group,
+    build_leader_group,
+    build_name_service,
+)
+from repro.membership import GroupNode
+from repro.net import FixedLatency
+from repro.proc import Environment, Rpc
+
+
+def env_with_ns(seed=1, replicas=3):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    servers = build_name_service(env, replicas=replicas)
+    return env, servers
+
+
+def test_register_lookup_roundtrip():
+    env, servers = env_with_ns()
+    client = GroupNode(env, "c0")
+    results = []
+    client.runtime.rpc.call(
+        "ns-0",
+        RegisterName(name="svc", contacts=("a", "b")),
+        on_reply=lambda v, s: None,
+    )
+    env.run_for(0.5)
+    client.runtime.rpc.call(
+        "ns-1",  # replicated to peers
+        LookupName(name="svc"),
+        on_reply=lambda v, s: results.append(v),
+    )
+    env.run_for(0.5)
+    assert results == [("a", "b")]
+
+
+def test_lookup_unknown_name_errors():
+    env, servers = env_with_ns()
+    client = GroupNode(env, "c0")
+    results = []
+    client.runtime.rpc.call(
+        "ns-0", LookupName(name="ghost"), on_reply=lambda v, s: results.append(v)
+    )
+    env.run_for(0.5)
+    assert results == [None]
+
+
+def test_unregister_propagates():
+    env, servers = env_with_ns()
+    client = GroupNode(env, "c0")
+    client.runtime.rpc.call(
+        "ns-0", RegisterName(name="svc", contacts=("a",)), on_reply=lambda v, s: None
+    )
+    env.run_for(0.5)
+    client.runtime.rpc.call(
+        "ns-0", UnregisterName(name="svc"), on_reply=lambda v, s: None
+    )
+    env.run_for(0.5)
+    results = []
+    client.runtime.rpc.call(
+        "ns-2", LookupName(name="svc"), on_reply=lambda v, s: results.append(v)
+    )
+    env.run_for(0.5)
+    assert results == [None]
+
+
+def test_name_client_caches_and_fails_over():
+    env, servers = env_with_ns()
+    client = GroupNode(env, "c0")
+    client.runtime.rpc.call(
+        "ns-0", RegisterName(name="svc", contacts=("x",)), on_reply=lambda v, s: None
+    )
+    env.run_for(0.5)
+    nc = NameClient(client, client.runtime.rpc, ("ns-0", "ns-1", "ns-2"))
+    got = []
+    nc.resolve("svc", got.append)
+    env.run_for(1.0)
+    assert got == [("x",)]
+    # kill the first server; cached resolution needs no traffic
+    servers[0].crash()
+    nc.resolve("svc", got.append)
+    assert got[-1] == ("x",)
+    # invalidate -> must fail over to a live replica
+    nc.invalidate("svc")
+    nc.resolve("svc", got.append)
+    env.run_for(3.0)
+    assert got[-1] == ("x",)
+
+
+def test_name_client_reports_unresolvable():
+    env, servers = env_with_ns()
+    client = GroupNode(env, "c0")
+    nc = NameClient(client, client.runtime.rpc, ("ns-0",))
+    got = []
+    nc.resolve("ghost", got.append)
+    env.run_for(2.0)
+    assert got == [None]
+
+
+def test_leader_registers_service_name():
+    env, servers = env_with_ns()
+    params = LargeGroupParams(resiliency=2, fanout=4)
+    leaders = build_leader_group(
+        env, "svc", params, name_servers=("ns-0", "ns-1", "ns-2")
+    )
+    env.run_for(2.0)
+    assert "svc" in servers[0].known_names()
+    assert "svc" in servers[2].known_names()
+
+
+def test_router_full_path_via_name_service():
+    env, servers = env_with_ns()
+    params = LargeGroupParams(resiliency=2, fanout=4)
+    leaders = build_leader_group(
+        env, "svc", params, name_servers=("ns-0", "ns-1", "ns-2")
+    )
+    contacts = tuple(r.node.address for r in leaders)
+    members = build_large_group(env, "svc", 8, params, contacts)
+    env.run_for(8.0)
+
+    client = GroupNode(env, "client")
+    nc = NameClient(client, client.runtime.rpc, ("ns-0", "ns-1", "ns-2"))
+    router = ServiceRouter(
+        client, "svc", rpc=client.runtime.rpc, name_client=nc
+    )
+    got = []
+    router.assignment(got.append)
+    env.run_for(2.0)
+    assert got and got[0] is not None
+    leaf_group, leaf_contacts = got[0]
+    assert leaf_group.startswith("svc::")
+    assert leaf_contacts
+    # cache hit requires no new lookup
+    lookups_before = router.lookups
+    router.assignment(got.append)
+    assert router.lookups == lookups_before
+    assert got[-1] == got[0]
+
+
+def test_router_static_contacts_and_invalidation():
+    env = Environment(seed=2, latency=FixedLatency(0.002))
+    params = LargeGroupParams(resiliency=2, fanout=4)
+    leaders = build_leader_group(env, "svc", params)
+    contacts = tuple(r.node.address for r in leaders)
+    members = build_large_group(env, "svc", 6, params, contacts)
+    env.run_for(8.0)
+    client = GroupNode(env, "client")
+    router = ServiceRouter(
+        client, "svc", rpc=client.runtime.rpc, leader_contacts=contacts
+    )
+    got = []
+    router.assignment(got.append)
+    env.run_for(2.0)
+    assert got[0] is not None
+    router.invalidate()
+    assert router.cached_assignment is None
+    router.assignment(got.append)
+    env.run_for(2.0)
+    assert got[-1] is not None
+
+
+def test_router_round_robins_across_leaves():
+    env = Environment(seed=3, latency=FixedLatency(0.002))
+    params = LargeGroupParams(resiliency=2, fanout=2)  # small leaves
+    leaders = build_leader_group(env, "svc", params)
+    contacts = tuple(r.node.address for r in leaders)
+    members = build_large_group(env, "svc", 10, params, contacts)
+    env.run_for(20.0)
+    seen_leaves = set()
+    for i in range(6):
+        client = GroupNode(env, f"client-{i}")
+        router = ServiceRouter(
+            client, "svc", rpc=client.runtime.rpc, leader_contacts=contacts
+        )
+        got = []
+        router.assignment(got.append)
+        env.run_for(1.0)
+        if got and got[0]:
+            seen_leaves.add(got[0][0])
+    assert len(seen_leaves) >= 2

@@ -1,0 +1,123 @@
+"""Tests for the news (publish/subscribe) facility."""
+
+import pytest
+
+from repro.membership import GroupNode, build_group
+from repro.net import FixedLatency
+from repro.proc import Environment
+from repro.toolkit import News
+
+
+def build(n=3, back_issues=64, seed=1):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "news", n)
+    services = [News(m, back_issues=back_issues) for m in members]
+    return env, nodes, members, services
+
+
+def test_post_reaches_subscribers_everywhere():
+    env, nodes, members, services = build()
+    got = {s.member.me: [] for s in services}
+    for s in services:
+        s.subscribe("sports", lambda subj, body, poster, me=s.member.me: got[me].append(body))
+    services[0].post("sports", "score: 3-1")
+    env.run_for(1.0)
+    assert all(v == ["score: 3-1"] for v in got.values())
+
+
+def test_subjects_are_isolated():
+    env, nodes, members, services = build()
+    sports, money = [], []
+    services[1].subscribe("sports", lambda s, b, p: sports.append(b))
+    services[1].subscribe("money", lambda s, b, p: money.append(b))
+    services[0].post("money", "IBM up 2")
+    env.run_for(1.0)
+    assert sports == []
+    assert money == ["IBM up 2"]
+
+
+def test_posts_from_one_publisher_stay_ordered():
+    env, nodes, members, services = build()
+    got = []
+    services[2].subscribe("feed", lambda s, b, p: got.append(b))
+    for i in range(5):
+        services[0].post("feed", i)
+    env.run_for(1.0)
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_back_file_and_late_subscriber_replay():
+    env, nodes, members, services = build()
+    services[0].post("hist", "one")
+    services[0].post("hist", "two")
+    env.run_for(1.0)
+    assert [b for b, _ in services[1].back_file("hist")] == ["one", "two"]
+    late = []
+    services[1].subscribe("hist", lambda s, b, p: late.append(b), replay_back_issues=True)
+    assert late == ["one", "two"]
+    services[0].post("hist", "three")
+    env.run_for(1.0)
+    assert late == ["one", "two", "three"]
+
+
+def test_back_file_bounded():
+    env, nodes, members, services = build(back_issues=3)
+    for i in range(10):
+        services[0].post("s", i)
+    env.run_for(2.0)
+    assert [b for b, _ in services[1].back_file("s")] == [7, 8, 9]
+
+
+def test_zero_back_issues_keeps_nothing():
+    env, nodes, members, services = build(back_issues=0)
+    services[0].post("s", "gone")
+    env.run_for(1.0)
+    assert services[1].back_file("s") == []
+
+
+def test_unsubscribe_stops_delivery():
+    env, nodes, members, services = build()
+    got = []
+    fn = lambda s, b, p: got.append(b)  # noqa: E731
+    services[1].subscribe("x", fn)
+    services[0].post("x", 1)
+    env.run_for(1.0)
+    services[1].unsubscribe("x", fn)
+    services[0].post("x", 2)
+    env.run_for(1.0)
+    assert got == [1]
+
+
+def test_joiner_receives_back_files_via_state_transfer():
+    env, nodes, members, services = build()
+    services[0].post("archive", "old-news")
+    env.run_for(1.0)
+    node = GroupNode(env, "late-reader")
+    member = node.runtime.join_group("news", contact="news-0")
+    late_news = News(member)
+    env.run_for(4.0)
+    assert member.is_member
+    assert [b for b, _ in late_news.back_file("archive")] == ["old-news"]
+
+
+def test_poster_identity_passed_to_subscribers():
+    env, nodes, members, services = build()
+    got = []
+    services[2].subscribe("who", lambda s, b, p: got.append(p))
+    services[1].post("who", "hi")
+    env.run_for(1.0)
+    assert got == ["news-1"]
+
+
+def test_subjects_listing():
+    env, nodes, members, services = build()
+    services[0].post("a", 1)
+    services[0].post("b", 2)
+    env.run_for(1.0)
+    assert services[1].subjects() == ["a", "b"]
+
+
+def test_invalid_back_issues_rejected():
+    env, nodes, members, _ = build()
+    with pytest.raises(ValueError):
+        News(members[0], back_issues=-1, claim_state_hooks=False)

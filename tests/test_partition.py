@@ -1,0 +1,78 @@
+"""Unit tests for the partition manager."""
+
+import pytest
+
+from repro.net import PartitionManager
+
+
+def test_fully_connected_by_default():
+    pm = PartitionManager()
+    assert pm.reachable("a", "b")
+    assert not pm.partitioned
+
+
+def test_islands_separate_traffic():
+    pm = PartitionManager()
+    pm.partition({"a", "b"}, {"c", "d"})
+    assert pm.reachable("a", "b")
+    assert pm.reachable("c", "d")
+    assert not pm.reachable("a", "c")
+    assert not pm.reachable("d", "b")
+    assert pm.partitioned
+
+
+def test_unlisted_addresses_form_implicit_island():
+    pm = PartitionManager()
+    pm.partition({"a"})
+    assert pm.reachable("x", "y")  # both implicit
+    assert not pm.reachable("a", "x")
+    assert pm.island_index("a") == 0
+    assert pm.island_index("x") is None
+
+
+def test_address_in_two_islands_rejected():
+    pm = PartitionManager()
+    with pytest.raises(ValueError):
+        pm.partition({"a", "b"}, {"b", "c"})
+
+
+def test_heal_restores_connectivity():
+    pm = PartitionManager()
+    pm.partition({"a"}, {"b"})
+    pm.heal()
+    assert pm.reachable("a", "b")
+    assert not pm.partitioned
+
+
+def test_repartition_replaces_islands():
+    pm = PartitionManager()
+    pm.partition({"a"}, {"b"})
+    pm.partition({"a", "b"}, {"c"})
+    assert pm.reachable("a", "b")
+    assert not pm.reachable("a", "c")
+
+
+def test_cut_link_is_directional():
+    pm = PartitionManager()
+    pm.cut_link("a", "b")
+    assert not pm.reachable("a", "b")
+    assert pm.reachable("b", "a")
+    pm.restore_link("a", "b")
+    assert pm.reachable("a", "b")
+
+
+def test_cut_links_survive_heal():
+    pm = PartitionManager()
+    pm.partition({"a"}, {"b"})
+    pm.cut_link("a", "c")
+    pm.heal()
+    assert not pm.reachable("a", "c")
+    pm.restore_all_links()
+    assert pm.reachable("a", "c")
+
+
+def test_islands_listing():
+    pm = PartitionManager()
+    pm.partition({"a", "b"}, {"c"})
+    islands = pm.islands()
+    assert islands == [{"a", "b"}, {"c"}]

@@ -1,0 +1,142 @@
+"""Tests for the partitioned replicated store over hierarchical groups."""
+
+from repro.core import LargeGroupParams, build_large_group, build_leader_group
+from repro.membership import GroupNode
+from repro.net import FixedLatency
+from repro.proc import Environment
+from repro.toolkit import (
+    PartitionedStoreClient,
+    PartitionedStoreServer,
+    owner_of,
+)
+
+import pytest
+
+
+def build_store(workers=12, seed=1, fanout=4, resiliency=2, settle=None):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    params = LargeGroupParams(resiliency=resiliency, fanout=fanout)
+    leaders = build_leader_group(env, "svc", params)
+    contacts = tuple(r.node.address for r in leaders)
+    members = build_large_group(env, "svc", workers, params, contacts)
+    servers = [PartitionedStoreServer(m) for m in members]
+    env.run_for(settle if settle is not None else 5.0 + 0.3 * workers)
+    node = GroupNode(env, "store-client")
+    client = PartitionedStoreClient(
+        node, node.runtime.rpc, contacts, service="svc"
+    )
+    return env, params, leaders, members, servers, client
+
+
+# -- owner_of (pure) ----------------------------------------------------------------
+
+
+def test_owner_of_stable_and_order_independent():
+    leaves = ["l2", "l0", "l1"]
+    assert owner_of("k", leaves) == owner_of("k", list(reversed(leaves)))
+    assert owner_of("k", leaves) == owner_of("k", leaves)
+
+
+def test_owner_of_distributes_keys():
+    leaves = [f"l{i}" for i in range(4)]
+    owners = {owner_of(f"key-{i}", leaves) for i in range(100)}
+    assert len(owners) == 4  # all partitions used
+
+
+def test_owner_of_requires_leaves():
+    with pytest.raises(ValueError):
+        owner_of("k", [])
+
+
+# -- end to end ----------------------------------------------------------------------
+
+
+def test_put_then_get_roundtrip():
+    env, params, leaders, members, servers, client = build_store()
+    done, got = [], []
+    client.put("alpha", 1, done.append)
+    env.run_for(3.0)
+    client.get("alpha", got.append)
+    env.run_for(3.0)
+    assert done == [True]
+    assert got == [1]
+
+
+def test_keys_spread_across_leaves():
+    env, params, leaders, members, servers, client = build_store(workers=16)
+    oks = []
+    keys = [f"key-{i}" for i in range(20)]
+    for key in keys:
+        client.put(key, key.upper(), oks.append)
+    env.run_for(8.0)
+    assert oks == [True] * 20
+    owners = {client.owner_leaf(key) for key in keys}
+    assert len(owners) >= 2, "keys should be partitioned across leaves"
+
+
+def test_get_missing_key_returns_none():
+    env, params, leaders, members, servers, client = build_store()
+    got = []
+    client.get("ghost", got.append)
+    env.run_for(3.0)
+    assert got == [None]
+
+
+def test_delete_removes_key():
+    env, params, leaders, members, servers, client = build_store()
+    client.put("k", 9, lambda ok: None)
+    env.run_for(2.0)
+    client.delete("k", lambda ok: None)
+    env.run_for(2.0)
+    got = []
+    client.get("k", got.append)
+    env.run_for(2.0)
+    assert got == [None]
+
+
+def test_value_replicated_within_owner_leaf():
+    env, params, leaders, members, servers, client = build_store(workers=12)
+    client.put("replicated-key", 42, lambda ok: None)
+    env.run_for(4.0)
+    leaf_id = client.owner_leaf("replicated-key")
+    replicas = [
+        s for s, m in zip(servers, members) if m.leaf_id == leaf_id and m.is_member
+    ]
+    assert len(replicas) >= 2
+    assert all(s.local_value("replicated-key") == 42 for s in replicas)
+
+
+def test_value_survives_owner_leaf_coordinator_crash():
+    env, params, leaders, members, servers, client = build_store(workers=12)
+    client.put("durable", "v1", lambda ok: None)
+    env.run_for(4.0)
+    leaf_id = client.owner_leaf("durable")
+    leaf_members = [m for m in members if m.leaf_id == leaf_id and m.is_member]
+    coordinator = next(m for m in leaf_members if m.is_leaf_coordinator)
+    coordinator.node.crash()
+    env.run_for(6.0)
+    got = []
+    client.get("durable", got.append)
+    env.run_for(8.0)
+    assert got == ["v1"]
+
+
+def test_concurrent_writers_converge():
+    env, params, leaders, members, servers, client = build_store(workers=8)
+    node2 = GroupNode(env, "store-client-2")
+    contacts = tuple(r.node.address for r in leaders)
+    client2 = PartitionedStoreClient(node2, node2.runtime.rpc, contacts, "svc")
+    for i in range(5):
+        client.put(f"shared-{i}", f"a{i}", lambda ok: None)
+        client2.put(f"shared-{i}", f"b{i}", lambda ok: None)
+    env.run_for(8.0)
+    # whatever won, every replica of the owning leaf agrees
+    for i in range(5):
+        leaf_id = client.owner_leaf(f"shared-{i}")
+        values = {
+            s.local_value(f"shared-{i}")
+            for s, m in zip(servers, members)
+            if m.leaf_id == leaf_id and m.is_member
+        }
+        assert len(values) == 1
+        assert values.pop() in (f"a{i}", f"b{i}")

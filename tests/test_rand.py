@@ -1,0 +1,87 @@
+"""Unit tests for the deterministic random stream."""
+
+from repro.sim import SimRandom
+
+
+def test_same_seed_same_stream():
+    a = SimRandom(42)
+    b = SimRandom(42)
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_seeds_differ():
+    a = SimRandom(1)
+    b = SimRandom(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_is_deterministic():
+    a = SimRandom(7).fork("net")
+    b = SimRandom(7).fork("net")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_fork_independent_of_parent_draws():
+    a = SimRandom(7)
+    b = SimRandom(7)
+    for _ in range(100):
+        b.random()  # parent consumption must not affect forks
+    assert a.fork("x").random() == b.fork("x").random()
+
+
+def test_forks_with_different_labels_differ():
+    parent = SimRandom(7)
+    x = parent.fork("x")
+    y = parent.fork("y")
+    assert [x.random() for _ in range(5)] != [y.random() for _ in range(5)]
+
+
+def test_successive_forks_differ():
+    parent = SimRandom(7)
+    first = parent.fork("same")
+    second = parent.fork("same")
+    assert [first.random() for _ in range(5)] != [second.random() for _ in range(5)]
+
+
+def test_chance_extremes():
+    rng = SimRandom(0)
+    assert not rng.chance(0.0)
+    assert rng.chance(1.0)
+    assert not rng.chance(-0.5)
+    assert rng.chance(1.5)
+
+
+def test_chance_rate_roughly_matches():
+    rng = SimRandom(123)
+    hits = sum(rng.chance(0.3) for _ in range(10000))
+    assert 2700 < hits < 3300
+
+
+def test_uniform_in_range():
+    rng = SimRandom(5)
+    for _ in range(100):
+        x = rng.uniform(2.0, 3.0)
+        assert 2.0 <= x <= 3.0
+
+
+def test_sample_and_choice():
+    rng = SimRandom(9)
+    pool = list(range(50))
+    picked = rng.sample(pool, 10)
+    assert len(picked) == 10
+    assert len(set(picked)) == 10
+    assert all(p in pool for p in picked)
+    assert rng.choice(pool) in pool
+
+
+def test_shuffle_is_permutation():
+    rng = SimRandom(11)
+    items = list(range(30))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+
+
+def test_expovariate_positive():
+    rng = SimRandom(13)
+    assert all(rng.expovariate(2.0) > 0 for _ in range(100))

@@ -1,0 +1,118 @@
+"""Direct tests for the generic ReplicatedStateMachine (beyond the dict
+and counter wrappers)."""
+
+from repro.membership import GroupNode, build_group
+from repro.net import FixedLatency
+from repro.proc import Environment
+from repro.toolkit import ReplicatedStateMachine
+
+
+def apply_banking(state, command):
+    kind, account, amount = command
+    balances = state["balances"]
+    if kind == "deposit":
+        balances[account] = balances.get(account, 0) + amount
+        return balances[account]
+    if kind == "withdraw":
+        current = balances.get(account, 0)
+        if current < amount:
+            state["rejected"] += 1
+            return None  # deterministic rejection
+        balances[account] = current - amount
+        return balances[account]
+    raise ValueError(command)
+
+
+def build(n=3, seed=1):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "bank", n)
+    machines = [
+        ReplicatedStateMachine(
+            m,
+            machine="bank",
+            initial_state=lambda: {"balances": {}, "rejected": 0},
+            apply_fn=apply_banking,
+            snapshot_fn=lambda s: {"balances": dict(s["balances"]), "rejected": s["rejected"]},
+            restore_fn=lambda s: {"balances": dict(s["balances"]), "rejected": s["rejected"]},
+        )
+        for m in members
+    ]
+    return env, nodes, members, machines
+
+
+def test_commands_apply_identically_everywhere():
+    env, nodes, members, machines = build()
+    machines[0].submit(("deposit", "alice", 100))
+    machines[1].submit(("deposit", "bob", 50))
+    machines[2].submit(("withdraw", "alice", 30))
+    env.run_for(3.0)
+    states = [m.state for m in machines]
+    assert all(s == states[0] for s in states)
+    assert states[0]["balances"] == {"alice": 70, "bob": 50}
+    assert all(m.commands_applied == 3 for m in machines)
+
+
+def test_deterministic_rejection_consistent():
+    env, nodes, members, machines = build()
+    # concurrent: two withdrawals racing a deposit; whatever the total
+    # order, every replica must agree on which was rejected
+    machines[0].submit(("deposit", "carol", 10))
+    machines[1].submit(("withdraw", "carol", 8))
+    machines[2].submit(("withdraw", "carol", 8))
+    env.run_for(3.0)
+    states = {str(m.state) for m in machines}
+    assert len(states) == 1
+    assert machines[0].state["rejected"] == 1
+
+
+def test_listeners_see_command_and_result():
+    env, nodes, members, machines = build()
+    seen = []
+    machines[1].add_listener(lambda cmd, result: seen.append((cmd, result)))
+    machines[0].submit(("deposit", "dora", 5))
+    env.run_for(2.0)
+    assert seen == [(("deposit", "dora", 5), 5)]
+
+
+def test_two_machines_on_one_group_do_not_interfere():
+    env = Environment(seed=2, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", 3)
+    audit = [
+        ReplicatedStateMachine(
+            m, "audit", initial_state=list,
+            apply_fn=lambda s, c: (s.append(c), len(s))[1],
+        )
+        for m in members
+    ]
+    tally = [
+        ReplicatedStateMachine(
+            m, "tally", initial_state=lambda: {"n": 0},
+            apply_fn=lambda s, c: s.__setitem__("n", s["n"] + c) or s["n"],
+        )
+        for m in members
+    ]
+    audit[0].submit("event-1")
+    tally[1].submit(7)
+    env.run_for(2.0)
+    assert all(m.state == ["event-1"] for m in audit)
+    assert all(m.state["n"] == 7 for m in tally)
+
+
+def test_state_transfer_via_machine_snapshot():
+    env, nodes, members, machines = build()
+    machines[0].submit(("deposit", "erin", 42))
+    env.run_for(2.0)
+    joiner = GroupNode(env, "late")
+    late_member = joiner.runtime.join_group("bank", contact="bank-0")
+    late_machine = ReplicatedStateMachine(
+        late_member,
+        machine="bank",
+        initial_state=lambda: {"balances": {}, "rejected": 0},
+        apply_fn=apply_banking,
+    )
+    env.run_for(5.0)
+    assert late_member.is_member
+    assert late_machine.state["balances"] == {"erin": 42}
+    machines[1].submit(("withdraw", "erin", 2))
+    env.run_for(2.0)
+    assert late_machine.state["balances"] == {"erin": 40}

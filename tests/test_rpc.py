@@ -1,0 +1,138 @@
+"""Unit tests for the RPC helper."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net import FixedLatency
+from repro.proc import Environment, Process, Rpc, RpcError
+
+
+@dataclass
+class Add:
+    a: int = 0
+    b: int = 0
+
+
+@dataclass
+class Boom:
+    pass
+
+
+@dataclass
+class Unserved:
+    pass
+
+
+class Server(Process):
+    def __init__(self, env, address):
+        super().__init__(env, address)
+        self.rpc = Rpc(self)
+        self.rpc.serve(Add, lambda body, sender: body.a + body.b)
+        self.rpc.serve(Boom, self._boom)
+
+    def _boom(self, body, sender):
+        raise RpcError("kaboom")
+
+
+class Client(Process):
+    def __init__(self, env, address):
+        super().__init__(env, address)
+        self.rpc = Rpc(self)
+        self.replies = []
+        self.timeouts = 0
+
+    def ask(self, dst, body, timeout=None):
+        self.rpc.call(
+            dst,
+            body,
+            on_reply=lambda value, sender: self.replies.append(value),
+            timeout=timeout,
+            on_timeout=self._on_timeout,
+        )
+
+    def _on_timeout(self):
+        self.timeouts += 1
+
+
+def setup():
+    env = Environment(seed=1, latency=FixedLatency(0.01))
+    return env, Server(env, "server"), Client(env, "client")
+
+
+def test_basic_request_reply():
+    env, server, client = setup()
+    client.ask("server", Add(2, 3))
+    env.run()
+    assert client.replies == [5]
+
+
+def test_concurrent_calls_correlate_correctly():
+    env, server, client = setup()
+    for i in range(10):
+        client.ask("server", Add(i, i))
+    env.run()
+    assert sorted(client.replies) == [2 * i for i in range(10)]
+
+
+def test_timeout_fires_when_server_dead():
+    env, server, client = setup()
+    server.crash()
+    client.ask("server", Add(1, 1), timeout=0.5)
+    env.run()
+    assert client.replies == []
+    assert client.timeouts == 1
+
+
+def test_no_timeout_after_reply():
+    env, server, client = setup()
+    client.ask("server", Add(1, 1), timeout=5.0)
+    env.run()
+    assert client.replies == [2]
+    assert client.timeouts == 0
+
+
+def test_unserved_body_times_out():
+    env, server, client = setup()
+    client.ask("server", Unserved(), timeout=0.5)
+    env.run()
+    assert client.timeouts == 1
+
+
+def test_server_error_returns_error_reply():
+    env, server, client = setup()
+    errors = []
+    client.rpc.call(
+        "server",
+        Boom(),
+        on_reply=lambda value, sender: errors.append(value),
+    )
+    env.run()
+    assert errors == [None]
+
+
+def test_duplicate_serve_rejected():
+    env, server, client = setup()
+    with pytest.raises(ValueError):
+        server.rpc.serve(Add, lambda b, s: 0)
+
+
+def test_unserve_then_reserve():
+    env, server, client = setup()
+    server.rpc.unserve(Add)
+    server.rpc.serve(Add, lambda body, sender: 99)
+    client.ask("server", Add(1, 1))
+    env.run()
+    assert client.replies == [99]
+
+
+def test_two_clients_do_not_cross_replies():
+    env = Environment(seed=2, latency=FixedLatency(0.01))
+    server = Server(env, "server")
+    c1 = Client(env, "c1")
+    c2 = Client(env, "c2")
+    c1.ask("server", Add(1, 0))
+    c2.ask("server", Add(2, 0))
+    env.run()
+    assert c1.replies == [1]
+    assert c2.replies == [2]

@@ -1,0 +1,204 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Scheduler, SimulationError
+
+
+def test_starts_at_time_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.at(2.0, lambda: fired.append("b"))
+    sched.at(1.0, lambda: fired.append("a"))
+    sched.at(3.0, lambda: fired.append("c"))
+    sched.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_times_fire_fifo():
+    sched = Scheduler()
+    fired = []
+    for name in "abcde":
+        sched.at(1.0, lambda n=name: fired.append(n))
+    sched.run()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    sched = Scheduler()
+    seen = []
+    sched.at(5.0, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [5.0]
+    assert sched.now == 5.0
+
+
+def test_after_is_relative_to_now():
+    sched = Scheduler()
+    seen = []
+    sched.at(1.0, lambda: sched.after(2.0, lambda: seen.append(sched.now)))
+    sched.run()
+    assert seen == [3.0]
+
+
+def test_cannot_schedule_in_the_past():
+    sched = Scheduler()
+    sched.at(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.at(4.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Scheduler().after(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sched = Scheduler()
+    fired = []
+    handle = sched.at(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    sched.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_after_firing_is_harmless():
+    sched = Scheduler()
+    handle = sched.at(1.0, lambda: None)
+    sched.run()
+    handle.cancel()  # must not raise
+
+
+def test_run_until_is_inclusive():
+    sched = Scheduler()
+    fired = []
+    sched.at(1.0, lambda: fired.append(1))
+    sched.at(2.0, lambda: fired.append(2))
+    sched.at(3.0, lambda: fired.append(3))
+    sched.run(until=2.0)
+    assert fired == [1, 2]
+    assert sched.now == 2.0
+
+
+def test_run_until_advances_clock_through_quiet_period():
+    sched = Scheduler()
+    sched.run(until=10.0)
+    assert sched.now == 10.0
+
+
+def test_run_for_runs_relative_window():
+    sched = Scheduler()
+    fired = []
+    sched.at(1.0, lambda: fired.append(1))
+    sched.at(5.0, lambda: fired.append(5))
+    sched.run_for(2.0)
+    assert fired == [1]
+    assert sched.now == 2.0
+    sched.run_for(3.0)
+    assert fired == [1, 5]
+
+
+def test_max_events_bound():
+    sched = Scheduler()
+    fired = []
+    for i in range(10):
+        sched.at(float(i), lambda i=i: fired.append(i))
+    sched.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+    sched.run()
+    assert fired == list(range(10))
+
+
+def test_events_scheduled_during_run_fire_in_same_run():
+    sched = Scheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sched.after(1.0, lambda: chain(n + 1))
+
+    sched.at(0.0, lambda: chain(0))
+    sched.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_step_fires_one_event():
+    sched = Scheduler()
+    fired = []
+    sched.at(1.0, lambda: fired.append(1))
+    sched.at(2.0, lambda: fired.append(2))
+    assert sched.step()
+    assert fired == [1]
+    assert sched.step()
+    assert not sched.step()
+
+
+def test_events_processed_counter():
+    sched = Scheduler()
+    for i in range(7):
+        sched.at(float(i), lambda: None)
+    sched.run()
+    assert sched.events_processed == 7
+
+
+def test_pending_excludes_cancelled():
+    sched = Scheduler()
+    sched.at(1.0, lambda: None)
+    handle = sched.at(2.0, lambda: None)
+    handle.cancel()
+    assert sched.pending == 1
+
+
+def test_reentrant_run_rejected():
+    sched = Scheduler()
+    errors = []
+
+    def reenter():
+        try:
+            sched.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sched.at(1.0, reenter)
+    sched.run()
+    assert len(errors) == 1
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_property_fire_order_is_sorted(times):
+    sched = Scheduler()
+    fired = []
+    for t in times:
+        sched.at(t, lambda t=t: fired.append(t))
+    sched.run()
+    assert fired == sorted(times)
+    assert sched.events_processed == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_cancellation_removes_exactly_cancelled(events):
+    sched = Scheduler()
+    fired = []
+    expected = []
+    for index, (t, keep) in enumerate(events):
+        handle = sched.at(t, lambda i=index: fired.append(i))
+        if keep:
+            expected.append((t, index))
+        else:
+            handle.cancel()
+    sched.run()
+    assert fired == [i for _, i in sorted(expected, key=lambda p: (p[0], p[1]))]

@@ -1,0 +1,159 @@
+"""Tests for the coordinator-cohort tool (flat groups)."""
+
+from repro.membership import GroupNode, build_group
+from repro.net import FixedLatency
+from repro.proc import Environment
+from repro.toolkit import CoordinatorCohortClient, attach_service
+
+
+def build(n, seed=1, cohort_limit=None, handler=None):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "svc", n)
+    handler = handler if handler else lambda payload, client: ("done", payload)
+    servers = attach_service(members, handler, cohort_limit=cohort_limit)
+    client_node = GroupNode(env, "client")
+    client = CoordinatorCohortClient(
+        client_node,
+        "svc",
+        contacts=tuple(f"svc-{i}" for i in range(n)),
+        rpc=client_node.runtime.rpc,
+    )
+    return env, nodes, members, servers, client
+
+
+def test_request_gets_reply():
+    env, nodes, members, servers, client = build(4)
+    replies = []
+    client.request({"op": "read"}, replies.append)
+    env.run_for(3.0)
+    assert replies == [("done", {"op": "read"})]
+
+
+def test_coordinator_executes_exactly_once_normally():
+    env, nodes, members, servers, client = build(5)
+    replies = []
+    for i in range(6):
+        client.request(i, replies.append)
+    env.run_for(5.0)
+    assert sorted(r[1] for r in replies) == list(range(6))
+    assert servers[0].requests_executed == 6
+    assert all(s.requests_executed == 0 for s in servers[1:])
+
+
+def test_cohorts_store_results():
+    env, nodes, members, servers, client = build(4)
+    client.request("x", lambda r: None)
+    env.run_for(3.0)
+    for server in servers[1:]:
+        assert len(server._results) == 1
+
+
+def test_cohort_limit_bounds_result_copies():
+    env, nodes, members, servers, client = build(6, cohort_limit=3)
+    before = env.network.stats.snapshot()
+    client.request("x", lambda r: None)
+    env.run_for(3.0)
+    delta = env.network.stats.since(before)
+    assert delta.by_category["cc-result"] == 2  # limit-1 cohorts
+    holders = sum(1 for s in servers if len(s._results) == 1)
+    assert holders == 3  # coordinator + 2 cohorts
+
+
+def test_message_count_is_2n():
+    """The paper's claim: a request costs 2n messages (n requests in,
+    1 reply, n-1 result copies)."""
+    for n in (3, 5, 9):
+        env, nodes, members, servers, client = build(n)
+        env.run_for(1.0)
+        before = env.network.stats.snapshot()
+        done = []
+        client.request("w", done.append)
+        env.run_for(3.0)
+        delta = env.network.stats.since(before)
+        data_messages = (
+            delta.by_category.get("cc-request", 0)
+            + delta.by_category.get("cc-reply", 0)
+            + delta.by_category.get("cc-result", 0)
+        )
+        assert done
+        assert data_messages == 2 * n, f"n={n}: {delta.by_category}"
+
+
+def test_coordinator_crash_cohort_takes_over():
+    env, nodes, members, servers, client = build(4)
+    slow = []
+
+    # The first executor crashes mid-request, before sending its reply or
+    # the result copies: the cohorts must detect and take over.
+    def killer_handler(payload, client_addr):
+        slow.append(payload)
+        if len(slow) == 1:
+            nodes[0].crash()  # synchronous: reply send below is suppressed
+        return ("served", payload)
+
+    for server in servers:
+        server.handler = killer_handler
+    replies = []
+    client.request("critical", replies.append)
+    env.run_for(10.0)
+    assert replies, "cohort must take over and reply"
+    assert any(s.takeovers >= 1 for s in servers[1:])
+
+
+def test_coordinator_crash_before_any_processing():
+    env, nodes, members, servers, client = build(4)
+    nodes[0].crash()
+    replies = []
+    client.request("after-crash", replies.append)
+    env.run_for(10.0)
+    assert replies == [("done", "after-crash")]
+    assert servers[1].requests_executed == 1
+
+
+def test_client_failure_callback_when_group_gone():
+    env, nodes, members, servers, client = build(2)
+    for node in nodes:
+        node.crash()
+    replies, failures = [], []
+    client.request("void", replies.append, on_failure=lambda: failures.append(1))
+    env.run_for(30.0)
+    assert replies == []
+    assert failures == [1]
+
+
+def test_duplicate_request_not_reexecuted():
+    env, nodes, members, servers, client = build(3)
+    executions = []
+
+    def handler(payload, client_addr):
+        executions.append(payload)
+        return payload
+
+    for server in servers:
+        server.handler = handler
+    replies = []
+    rid = client.request("once", replies.append)
+    env.run_for(2.0)
+    # simulate a client retransmission of the same request id
+    from repro.toolkit import CCRequest
+
+    client.process.multicast(
+        tuple(members[0].view.members),
+        CCRequest(group="svc", request_id=rid, payload="once", client="client"),
+    )
+    env.run_for(2.0)
+    assert executions == ["once"]
+
+
+def test_two_clients_independent():
+    env, nodes, members, servers, client = build(3)
+    other_node = GroupNode(env, "client2")
+    other = CoordinatorCohortClient(
+        other_node, "svc", contacts=("svc-1", "svc-2"), rpc=other_node.runtime.rpc
+    )
+    r1, r2 = [], []
+    client.request("a", r1.append)
+    other.request("b", r2.append)
+    env.run_for(3.0)
+    assert r1 == [("done", "a")]
+    assert r2 == [("done", "b")]

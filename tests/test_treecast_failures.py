@@ -1,0 +1,133 @@
+"""Failure injection for the tree broadcast: relay crashes, leaf crashes,
+atomicity under partial dissemination, and determinism properties."""
+
+from repro.core import (
+    LargeGroupParams,
+    TreecastRoot,
+    attach_treecast,
+    build_large_group,
+    build_leader_group,
+    build_spec,
+)
+from repro.net import FixedLatency
+from repro.proc import Environment
+
+
+def build_service(n_workers, fanout=3, resiliency=2, seed=1, settle=None):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    params = LargeGroupParams(resiliency=resiliency, fanout=fanout)
+    leaders = build_leader_group(env, "svc", params)
+    contacts = tuple(r.node.address for r in leaders)
+    members = build_large_group(env, "svc", n_workers, params, contacts)
+    participants = attach_treecast(members, resiliency=resiliency)
+    roots = [TreecastRoot(r, ack_timeout=3.0) for r in leaders]
+    env.run_for(settle if settle is not None else 5.0 + 0.3 * n_workers)
+    root = next(r for r in roots if r.replica.is_manager)
+    return env, params, leaders, members, participants, root
+
+
+def find_relay(root):
+    """A relay process for some branch subtree (None if single level)."""
+    spec = build_spec(root.replica.state)
+    for child in spec.children:
+        return child.relay
+    return None
+
+
+def test_relay_crash_non_atomic_still_covers_other_subtrees():
+    env, params, leaders, members, participants, root = build_service(
+        30, fanout=3, settle=25.0
+    )
+    relay = find_relay(root)
+    assert relay is not None, "need a multi-level tree for this test"
+    env.crash(relay)
+    root.broadcast("partial-cover")
+    env.run_for(8.0)
+    assert root.completed and root.completed[0]["timed_out"]
+    delivered = sum(
+        1
+        for p in participants
+        if p.member.node.alive and ("partial-cover" in [x for _b, x in p.delivered])
+    )
+    live = sum(1 for p in participants if p.member.node.alive and p.member.is_member)
+    # some subtrees are lost with the relay, the rest still deliver
+    assert 0 < delivered < live
+
+
+def test_relay_crash_atomic_broadcast_never_commits():
+    env, params, leaders, members, participants, root = build_service(
+        30, fanout=3, settle=25.0
+    )
+    relay = find_relay(root)
+    assert relay is not None
+    env.crash(relay)
+    root.broadcast("must-not-commit", atomic=True)
+    env.run_for(10.0)
+    info = root.completed[0]
+    assert info["timed_out"] and not info["committed"]
+    # atomicity: nobody delivered (payload stays buffered, never committed)
+    for p in participants:
+        assert all(payload != "must-not-commit" for _b, payload in p.delivered)
+
+
+def test_atomic_broadcast_with_healthy_tree_commits_everywhere():
+    env, params, leaders, members, participants, root = build_service(
+        30, fanout=3, settle=25.0
+    )
+    root.broadcast("all-or-nothing", atomic=True)
+    env.run_for(8.0)
+    info = root.completed[0]
+    assert info["committed"] and not info["timed_out"]
+    live = [p for p in participants if p.member.is_member]
+    assert all(
+        [payload for _b, payload in p.delivered] == ["all-or-nothing"]
+        for p in live
+    )
+
+
+def test_leaf_member_crash_mid_broadcast_leaf_still_acks_with_resiliency():
+    env, params, leaders, members, participants, root = build_service(
+        12, fanout=4, resiliency=2
+    )
+    # crash one non-coordinator member of some leaf just before broadcast
+    victim = next(
+        m for m in members if m.is_member and not m.is_leaf_coordinator
+    )
+    victim.node.crash()
+    root.broadcast("resilient", atomic=True)
+    env.run_for(10.0)
+    info = root.completed[0]
+    assert info["committed"], "r=2 acks available despite one member down"
+    live = [p for p in participants if p.member.node.alive and p.member.is_member]
+    assert all(
+        "resilient" in [payload for _b, payload in p.delivered] for p in live
+    )
+
+
+def test_broadcasts_deterministic_across_reruns():
+    def run(seed):
+        env, params, leaders, members, participants, root = build_service(
+            18, fanout=3, seed=seed, settle=15.0
+        )
+        root.broadcast("det-1")
+        root.broadcast("det-2")
+        env.run_for(8.0)
+        return [
+            (p.member.me, tuple(payload for _b, payload in p.delivered))
+            for p in participants
+        ], env.network.stats.messages
+
+    first = run(99)
+    second = run(99)
+    assert first == second
+
+
+def test_sequential_atomic_broadcasts_ordered_per_leaf_sender():
+    env, params, leaders, members, participants, root = build_service(12)
+    for i in range(4):
+        root.broadcast(f"cfg-{i}", atomic=True)
+    env.run_for(15.0)
+    live = [p for p in participants if p.member.is_member]
+    for p in live:
+        payloads = [payload for _b, payload in p.delivered]
+        assert sorted(payloads) == [f"cfg-{i}" for i in range(4)]

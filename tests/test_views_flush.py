@@ -1,0 +1,194 @@
+"""Unit tests for GroupView and the FlushController (pure protocol state)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.membership import FlushController, GroupView, ViewId
+from repro.membership.events import FlushOk, GroupData
+
+
+# -- GroupView ---------------------------------------------------------------------
+
+
+def make_view(*members, seq=1):
+    return GroupView("g", seq, tuple(members))
+
+
+def test_view_basics():
+    view = make_view("a", "b", "c")
+    assert view.size == 3
+    assert view.coordinator == "a"
+    assert view.rank_of("b") == 1
+    assert view.contains("c")
+    assert not view.contains("z")
+    assert view.others("b") == ("a", "c")
+    assert view.view_id == ViewId("g", 1)
+
+
+def test_view_id_next():
+    assert ViewId("g", 3).next() == ViewId("g", 4)
+
+
+def test_view_rejects_duplicates_and_bad_seq():
+    with pytest.raises(ValueError):
+        make_view("a", "a")
+    with pytest.raises(ValueError):
+        GroupView("g", 0, ("a",))
+
+
+def test_empty_view_has_no_coordinator():
+    view = GroupView("g", 1, ())
+    with pytest.raises(ValueError):
+        view.coordinator
+
+
+def test_successor_preserves_survivor_order():
+    view = make_view("a", "b", "c", "d")
+    nxt = view.successor(add=["e"], remove=["b"])
+    assert nxt.members == ("a", "c", "d", "e")
+    assert nxt.seq == 2
+
+
+def test_successor_ranks_only_improve():
+    view = make_view("a", "b", "c", "d")
+    nxt = view.successor(remove=["a"])
+    for member in nxt.members:
+        assert nxt.rank_of(member) <= view.rank_of(member)
+
+
+def test_successor_ignores_duplicate_add():
+    view = make_view("a", "b")
+    nxt = view.successor(add=["b", "c"])
+    assert nxt.members == ("a", "b", "c")
+
+
+def test_initial_view():
+    view = GroupView.initial("g", ["x", "y"])
+    assert view.seq == 1 and view.members == ("x", "y")
+
+
+@given(
+    st.lists(st.sampled_from("abcdef"), unique=True, min_size=1, max_size=6),
+    st.lists(st.sampled_from("abcdef"), unique=True, max_size=3),
+    st.lists(st.sampled_from("uvwxyz"), unique=True, max_size=3),
+)
+def test_property_successor_membership_algebra(members, removed, added):
+    view = GroupView("g", 1, tuple(members))
+    nxt = view.successor(add=added, remove=removed)
+    expected = [m for m in members if m not in removed] + [
+        a for a in added if a in removed or a not in members
+    ]
+    # ignore ordering of appended joiners beyond first occurrence semantics
+    assert set(nxt.members) == set(m for m in members if m not in removed) | set(added)
+    assert nxt.seq == 2
+    assert len(set(nxt.members)) == len(nxt.members)
+
+
+# -- FlushController ---------------------------------------------------------------
+
+
+def data(sender, seq, ordering="fifo", view_seq=1):
+    return GroupData(
+        group="g",
+        view_seq=view_seq,
+        sender=sender,
+        sender_seq=seq,
+        ordering=ordering,
+        payload=f"{sender}:{seq}",
+    )
+
+
+def ok(unstable=(), orders=(), next_seq=1, target=2):
+    return FlushOk(
+        group="g",
+        target_seq=target,
+        unstable=list(unstable),
+        order_known=list(orders),
+        next_global_seq=next_seq,
+    )
+
+
+def test_controller_completes_when_all_respond():
+    fc = FlushController(2, ["a", "b"], ["a", "b"], [])
+    assert not fc.complete
+    fc.record_response("a", ok())
+    assert fc.missing() == {"b"}
+    fc.record_response("b", ok())
+    assert fc.complete
+
+
+def test_controller_ignores_wrong_target_and_stranger():
+    fc = FlushController(2, ["a"], ["a"], [])
+    fc.record_response("a", ok(target=99))
+    assert not fc.complete
+    fc.record_response("z", ok())
+    assert not fc.complete
+
+
+def test_drop_member_removes_everywhere():
+    fc = FlushController(2, ["a", "b", "j"], ["a", "b"], ["j"])
+    fc.record_response("b", ok())
+    assert fc.drop_member("b")
+    assert "b" not in fc.proposed
+    assert "b" not in fc.targets
+    assert "b" not in fc.responses
+    assert fc.drop_member("j")
+    assert fc.joiners == []
+    assert not fc.drop_member("zz")
+
+
+def test_merged_unstable_dedups_by_id():
+    m1 = data("a", 1)
+    m1_copy = data("a", 1)
+    m2 = data("b", 1)
+    fc = FlushController(2, ["a", "b"], ["a", "b"], [])
+    fc.record_response("a", ok(unstable=[m1, m2]))
+    fc.record_response("b", ok(unstable=[m1_copy]))
+    merged = fc.merged_unstable()
+    assert len(merged) == 2
+    assert {(d.sender, d.sender_seq) for d in merged} == {("a", 1), ("b", 1)}
+
+
+def test_merged_unstable_sorted_deterministically():
+    fc = FlushController(2, ["a"], ["a"], [])
+    fc.record_response(
+        "a", ok(unstable=[data("b", 2), data("a", 1), data("b", 1)])
+    )
+    merged = fc.merged_unstable()
+    assert [(d.sender, d.sender_seq) for d in merged] == [
+        ("a", 1),
+        ("b", 1),
+        ("b", 2),
+    ]
+
+
+def test_merged_orders_keeps_known_assignments():
+    total = data("a", 1, ordering="total")
+    fc = FlushController(2, ["a", "b"], ["a", "b"], [])
+    fc.record_response("a", ok(unstable=[total], orders=[(5, ("a", 1))], next_seq=6))
+    fc.record_response("b", ok(unstable=[total]))
+    orders, next_seq = fc.merged_orders()
+    assert orders == [(5, ("a", 1))]
+    assert next_seq == 6
+
+
+def test_merged_orders_assigns_unordered_after_frontier():
+    t1 = data("a", 1, ordering="total")
+    t2 = data("b", 1, ordering="total")
+    fc = FlushController(2, ["a"], ["a"], [])
+    fc.record_response("a", ok(unstable=[t1, t2], orders=[(3, ("a", 1))], next_seq=4))
+    orders, next_seq = fc.merged_orders()
+    assert (3, ("a", 1)) in orders
+    # t2 placed deterministically at the frontier
+    assert (4, ("b", 1)) in orders
+    assert next_seq == 5
+
+
+def test_merged_orders_conflict_detected():
+    from repro.broadcast import merge_flush_orders
+
+    with pytest.raises(AssertionError):
+        merge_flush_orders(
+            [([(1, ("a", 1))], 2), ([(1, ("b", 9))], 2)],
+            [],
+        )

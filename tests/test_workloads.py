@@ -1,0 +1,72 @@
+"""Tests for the trading-room and manufacturing workload generators."""
+
+from repro.workloads import (
+    ManufacturingWorkload,
+    TradingRoomWorkload,
+    build_service_cluster,
+)
+
+
+def test_service_cluster_builder_places_everyone():
+    cluster = build_service_cluster("svc", 20, resiliency=2, fanout=4, seed=5)
+    assert len(cluster.live_members()) == 20
+    assert cluster.manager_root.replica.is_manager
+
+
+def test_trading_room_ticks_reach_all_analysts():
+    workload = TradingRoomWorkload(analysts=20, feeds=2, tick_rate=1.0, seed=3)
+    result = workload.run(duration=5.0, query_clients=2)
+    assert result.events_published > 0
+    # every published tick reached every live analyst
+    assert result.events_delivered == result.events_published * int(
+        result.extra["analysts"]
+    )
+    assert result.delivery_ratio == 1.0
+
+
+def test_trading_room_sub_second_latency():
+    workload = TradingRoomWorkload(analysts=30, feeds=2, tick_rate=1.0, seed=4)
+    result = workload.run(duration=5.0)
+    assert result.latency.count > 0
+    assert result.latency.p99 < 1.0  # the paper's sub-second demand
+
+
+def test_trading_room_queries_answered():
+    workload = TradingRoomWorkload(analysts=16, feeds=1, tick_rate=0.5, seed=5)
+    result = workload.run(duration=5.0, query_clients=3)
+    assert result.requests_sent > 0
+    assert result.requests_answered == result.requests_sent
+    assert result.request_latency.p99 < 1.0
+
+
+def test_manufacturing_orders_and_inventory_consistency():
+    workload = ManufacturingWorkload(
+        cells=16, status_rate=0.5, order_rate=2.0, seed=6
+    )
+    result = workload.run(duration=5.0)
+    assert result.requests_answered == result.requests_sent > 0
+    assert result.extra["inventory_consistent"] == 1.0
+    # inventory actually decremented
+    total_stock = sum(workload.inventory[0].snapshot().values())
+    assert total_stock == 5 * 1000 - result.requests_answered
+
+
+def test_manufacturing_reconfiguration_atomic_everywhere():
+    workload = ManufacturingWorkload(cells=12, order_rate=1.0, seed=7)
+    result = workload.run(duration=4.0, reconfigure_at=1.0)
+    applied = workload.recipes_applied
+    live = [m.node.address for m in workload.cluster.live_members()]
+    assert all(applied.get(addr) == [1] for addr in live)
+
+
+def test_manufacturing_cell_status_stays_leaf_local():
+    workload = ManufacturingWorkload(cells=16, status_rate=1.0, order_rate=0.5, seed=8)
+    before = workload.env.network.stats.snapshot()
+    result = workload.run(duration=4.0)
+    delta = workload.env.network.stats.since(before)
+    # status chatter happened, and each status multicast's logical fan-out
+    # is bounded by the leaf size, far below the cell count
+    statuses = delta.by_category.get("group-data", 0)
+    assert result.events_published > 0
+    max_leaf = workload.cluster.params.leaf_split_threshold
+    assert statuses <= result.events_published * max_leaf * 2
