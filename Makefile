@@ -1,0 +1,29 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-report bench-quick perf-smoke clean
+
+## Tier-1: unit + integration tests (includes the quick perf smoke).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Paper experiments + event-core perf scenarios under pytest-benchmark.
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+## Wall-clock perf suite: re-measures the current tree and merges the
+## numbers into BENCH_core.json next to the recorded baseline.
+bench-report:
+	$(PYTHON) -m tools.perf_report --label optimized --out BENCH_core.json --merge
+
+## Fast variant of the perf suite for local iteration (no JSON merge).
+bench-quick:
+	$(PYTHON) -m tools.perf_report --quick --label quick --out /dev/null
+
+## Just the event-core perf benchmarks (marker: perf).
+perf-smoke:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-only -m perf
+
+clean:
+	rm -rf .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,75 @@
+"""P0 — wall-clock throughput of the discrete-event core.
+
+Unlike the ``bench_e*`` experiments, which count *messages* to reproduce
+the paper's complexity arguments, this file measures the *simulator
+itself*: events per wall-clock second through the scheduler/network hot
+path.  It exists so that event-core regressions show up as numbers, not
+as mysteriously slow experiment suites.
+
+The scenarios are shared with ``tools/perf_report.py`` (the CLI that
+writes ``BENCH_core.json`` with baseline-vs-optimized speedups); here
+each scenario runs once under pytest-benchmark so ``make bench`` tracks
+them alongside the paper experiments.  All runs are deterministic
+discrete-event simulations — only the wall-clock time varies.
+
+Marked ``perf`` so the default test run can exclude them:
+``pytest benchmarks -m "not perf"`` skips this file.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from tools.perf_report import (
+    scenario_churn,
+    scenario_flat_steady,
+    scenario_hier_steady,
+    scenario_scheduler_micro,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def _report(result):
+    print(
+        f"\n  {result['events']} events in {result['wall_s']:.3f}s "
+        f"({result['events_per_sec']:,.0f} events/sec)"
+    )
+
+
+def test_perf_scheduler_micro(benchmark):
+    """Pure scheduler churn: no network, no processes."""
+    result = benchmark.pedantic(
+        scenario_scheduler_micro, args=(True,), rounds=3, iterations=1
+    )
+    _report(result)
+
+
+def test_perf_flat_steady_state(benchmark):
+    """Flat 64-member group under heartbeat monitoring."""
+    result = benchmark.pedantic(
+        scenario_flat_steady, args=(64, 1.0), rounds=3, iterations=1
+    )
+    _report(result)
+
+
+def test_perf_hierarchical_steady_state(benchmark):
+    """Hierarchical 64-worker service with heartbeats and gossip.
+
+    This is the headline scenario of the event-core optimisation work —
+    the one BENCH_core.json holds to a >=1.5x improvement.
+    """
+    result = benchmark.pedantic(
+        scenario_hier_steady, args=(64, 1.5), kwargs={"settle": 4.0},
+        rounds=3, iterations=1,
+    )
+    _report(result)
+
+
+def test_perf_churn(benchmark):
+    """Crash/recover cycling: exercises cancellation and heap compaction."""
+    result = benchmark.pedantic(scenario_churn, args=(3.0,), rounds=3, iterations=1)
+    _report(result)

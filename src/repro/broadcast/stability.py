@@ -14,11 +14,18 @@ The unstable suffix (everything above the floor) is exactly what the flush
 protocol must reconcile — keeping it small is what makes view changes
 cheap, and is why the paper worries about the cost of "ever larger
 broadcasts" in big flat groups: the gossip is all-to-all.
+
+The tracker sits on the per-message hot path (every delivery records, every
+gossip updates watermarks), so the group-wide floors are cached and
+maintained incrementally: watermarks only ever rise, and raising an entry
+can move ``min`` over the peers only when the old entry sat *at* the
+current floor.  Most updates therefore skip the O(members) rescan, and
+truncation touches only senders whose floor actually moved.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Set
 
 from repro.membership.events import GroupData
 from repro.net.message import Address
@@ -37,6 +44,14 @@ class StabilityTracker:
         self._log: Dict[Address, Dict[int, GroupData]] = {
             m: {} for m in self._members
         }
+        # Cached min-over-peers watermark per sender, plus the senders whose
+        # log may hold entries at or below their floor (pending truncation).
+        self._floor: Dict[Address, int] = {m: 0 for m in self._members}
+        self._dirty: Set[Address] = set()
+        # record() keeps our own peer-view row synced to ``_delivered`` one
+        # key at a time; gossip naming *us* as the peer can push the row
+        # ahead, after which the next record() falls back to a full resync.
+        self._me_row_synced = True
 
     # -- recording -------------------------------------------------------------
 
@@ -49,7 +64,21 @@ class StabilityTracker:
         if data.sender_seq > self._delivered[sender]:
             self._delivered[sender] = data.sender_seq
         self._log[sender][data.sender_seq] = data
-        self._peer_view[self._me] = dict(self._delivered)
+        if self._me_row_synced:
+            mine = self._peer_view[self._me]
+            old = mine[sender]
+            new = self._delivered[sender]
+            if new > old:
+                mine[sender] = new
+                if old == self._floor[sender]:
+                    self._refloor(sender)
+        else:
+            self._peer_view[self._me] = dict(self._delivered)
+            self._me_row_synced = True
+            for s in self._members:
+                self._refloor(s)
+        if data.sender_seq <= self._floor[sender]:
+            self._dirty.add(sender)  # logged at/below floor; truncate later
 
     def watermarks(self) -> Dict[Address, int]:
         return dict(self._delivered)
@@ -58,22 +87,31 @@ class StabilityTracker:
         if peer not in self._peer_view:
             return
         mine = self._peer_view[peer]
+        floor = self._floor
         for sender, seq in delivered.items():
-            if sender in mine and seq > mine[sender]:
+            old = mine.get(sender)
+            if old is not None and seq > old:
                 mine[sender] = seq
+                if old == floor[sender]:
+                    self._refloor(sender)
+        if peer == self._me:
+            self._me_row_synced = False
         self._truncate()
 
     # -- queries ----------------------------------------------------------------
 
     def stable_floor(self, sender: Address) -> int:
         """Highest seq from ``sender`` known delivered by *every* member."""
+        cached = self._floor.get(sender)
+        if cached is not None:
+            return cached
         return min(view.get(sender, 0) for view in self._peer_view.values())
 
     def unstable(self) -> List[GroupData]:
         """All logged messages above the stable floor (flush payload)."""
         out: List[GroupData] = []
         for sender, entries in self._log.items():
-            floor = self.stable_floor(sender)
+            floor = self._floor[sender]
             out.extend(
                 data for seq, data in sorted(entries.items()) if seq > floor
             )
@@ -82,8 +120,19 @@ class StabilityTracker:
     def log_size(self) -> int:
         return sum(len(entries) for entries in self._log.values())
 
+    def _refloor(self, sender: Address) -> None:
+        """Recompute one sender's floor after a contributing entry rose."""
+        new = min(view[sender] for view in self._peer_view.values())
+        if new != self._floor[sender]:
+            self._floor[sender] = new
+            self._dirty.add(sender)
+
     def _truncate(self) -> None:
-        for sender, entries in self._log.items():
-            floor = self.stable_floor(sender)
+        if not self._dirty:
+            return
+        for sender in self._dirty:
+            entries = self._log[sender]
+            floor = self._floor[sender]
             for seq in [s for s in entries if s <= floor]:
                 del entries[seq]
+        self._dirty.clear()

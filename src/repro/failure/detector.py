@@ -46,6 +46,12 @@ class HeartbeatAck:
     size_bytes = 16
 
 
+# Heartbeat payloads are stateless, so every ping/ack on the network can
+# share one instance — monitoring n peers allocates nothing per tick.
+_HEARTBEAT = Heartbeat()
+_HEARTBEAT_ACK = HeartbeatAck()
+
+
 class FailureDetector:
     """Common interface: watch peers, get a callback on suspicion."""
 
@@ -103,18 +109,42 @@ class HeartbeatDetector(FailureDetector):
         return address in self._suspected
 
     def _tick(self) -> None:
-        now = self._process.env.now
-        for address in list(self._last_heard):
-            if address in self._suspected:
+        process = self._process
+        now = process.env.now
+        last_heard = self._last_heard
+        suspected = self._suspected
+        suspect_after = self._suspect_after
+        # Fast path (the overwhelmingly common case): nobody is overdue,
+        # so no listener can fire and nothing can mutate our dicts —
+        # iterate them directly, no defensive copy, no allocation.
+        overdue = False
+        for address, last in last_heard.items():
+            if now - last >= suspect_after and address not in suspected:
+                overdue = True
+                break
+        if not overdue:
+            send = process.send
+            if suspected:
+                for address in last_heard:
+                    if address not in suspected:
+                        send(address, _HEARTBEAT)
+            else:
+                for address in last_heard:
+                    send(address, _HEARTBEAT)
+            return
+        # Slow path: at least one suspicion will fire this tick, and
+        # suspicion listeners may watch/unwatch — keep the defensive copy.
+        for address in list(last_heard):
+            if address in suspected:
                 continue
-            self._process.send(address, Heartbeat())
-            if now - self._last_heard[address] >= self._suspect_after:
-                self._suspected.add(address)
+            process.send(address, _HEARTBEAT)
+            if now - last_heard[address] >= self._suspect_after:
+                suspected.add(address)
                 for listener in list(self._listeners):
                     listener(address)
 
     def _on_ping(self, ping: Heartbeat, sender: Address) -> None:
-        self._process.send(sender, HeartbeatAck())
+        self._process.send(sender, _HEARTBEAT_ACK)
 
     def _on_ack(self, ack: HeartbeatAck, sender: Address) -> None:
         if sender in self._last_heard:

@@ -7,10 +7,12 @@ from repro.metrics.counters import (
     processes_touched,
     view_storage_entries,
 )
+from repro.metrics.digest import DeliveryDigest
 from repro.metrics.recorder import TimeSeriesRecorder
 from repro.metrics.tables import format_table, print_table
 
 __all__ = [
+    "DeliveryDigest",
     "LatencySample",
     "TimeSeriesRecorder",
     "data_messages",

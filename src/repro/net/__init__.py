@@ -13,6 +13,7 @@ from repro.net.message import (
     Envelope,
     HEADER_BYTES,
     payload_category,
+    payload_meta,
     payload_size,
 )
 from repro.net.network import Network
@@ -34,5 +35,6 @@ __all__ = [
     "StatsSnapshot",
     "UniformLatency",
     "payload_category",
+    "payload_meta",
     "payload_size",
 ]

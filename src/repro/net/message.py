@@ -11,12 +11,17 @@ module).  Two optional attributes are respected network-wide:
 ``size_bytes``
     Approximate payload size used by latency models and byte counters.
     Defaults to :data:`DEFAULT_PAYLOAD_BYTES`.
+
+Both attributes are declared at *class* level — either as plain class
+attributes (``category = "heartbeat"``) or as properties for wrappers
+whose category depends on an inner payload (the transport's ``Segment``).
+The lookup is cached per payload class, so per-instance assignment of
+these names is not supported (and is used nowhere in the library).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Dict, Tuple
 
 Address = str
 """A process endpoint name, e.g. ``"broker-3"``.  Unique per network."""
@@ -24,28 +29,90 @@ Address = str
 DEFAULT_PAYLOAD_BYTES = 128
 HEADER_BYTES = 64
 
+# Per-class lookup plan: (static_category | None, static_size | None).
+# None means "dynamic" — the class defines the attribute as a descriptor
+# (property), so it must be read from the instance on every call.
+_META_CACHE: Dict[type, Tuple] = {}
+
+
+def _register(cls: type) -> Tuple:
+    category = getattr(cls, "category", None)
+    if category is None:
+        static_category = cls.__name__
+    elif isinstance(category, str):
+        static_category = category
+    else:  # property / descriptor
+        static_category = None
+    size = getattr(cls, "size_bytes", None)
+    if size is None:
+        static_size = DEFAULT_PAYLOAD_BYTES
+    elif isinstance(size, (int, float)):
+        static_size = int(size)
+    else:  # property / descriptor
+        static_size = None
+    meta = (static_category, static_size)
+    _META_CACHE[cls] = meta
+    return meta
+
 
 def payload_category(payload: Any) -> str:
     """Stats bucket for a payload: its ``category`` or its class name."""
-    return getattr(payload, "category", type(payload).__name__)
+    cls = payload.__class__
+    meta = _META_CACHE.get(cls)
+    if meta is None:
+        meta = _register(cls)
+    category = meta[0]
+    return category if category is not None else payload.category
 
 
 def payload_size(payload: Any) -> int:
     """Approximate wire size of a payload in bytes (excluding header)."""
-    size = getattr(payload, "size_bytes", DEFAULT_PAYLOAD_BYTES)
-    return int(size)
+    cls = payload.__class__
+    meta = _META_CACHE.get(cls)
+    if meta is None:
+        meta = _register(cls)
+    size = meta[1]
+    return size if size is not None else int(payload.size_bytes)
 
 
-@dataclass
+def payload_meta(payload: Any) -> Tuple[str, int]:
+    """(category, size) in one cached lookup — the network's send path."""
+    cls = payload.__class__
+    meta = _META_CACHE.get(cls)
+    if meta is None:
+        meta = _register(cls)
+    category, size = meta
+    if category is None:
+        category = payload.category
+    if size is None:
+        size = int(payload.size_bytes)
+    return category, size
+
+
 class Envelope:
-    """One datagram in flight between two endpoints."""
+    """One datagram in flight between two endpoints.
 
-    src: Address
-    dst: Address
-    payload: Any
-    send_time: float
-    deliver_time: float = 0.0
-    size_bytes: int = field(default=DEFAULT_PAYLOAD_BYTES)
+    A ``__slots__`` class (not a dataclass): envelopes are the most
+    allocated object in any run, one per datagram.
+    """
+
+    __slots__ = ("src", "dst", "payload", "send_time", "deliver_time", "size_bytes")
+
+    def __init__(
+        self,
+        src: Address,
+        dst: Address,
+        payload: Any,
+        send_time: float,
+        deliver_time: float = 0.0,
+        size_bytes: int = DEFAULT_PAYLOAD_BYTES,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.send_time = send_time
+        self.deliver_time = deliver_time
+        self.size_bytes = size_bytes
 
     @property
     def category(self) -> str:
@@ -54,3 +121,22 @@ class Envelope:
     @property
     def total_bytes(self) -> int:
         return self.size_bytes + HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope(src={self.src!r}, dst={self.dst!r}, "
+            f"payload={self.payload!r}, send_time={self.send_time!r}, "
+            f"deliver_time={self.deliver_time!r}, size_bytes={self.size_bytes!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Envelope):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.payload == other.payload
+            and self.send_time == other.send_time
+            and self.deliver_time == other.deliver_time
+            and self.size_bytes == other.size_bytes
+        )

@@ -27,8 +27,7 @@ from repro.net.message import (
     Address,
     Envelope,
     HEADER_BYTES,
-    payload_category,
-    payload_size,
+    payload_meta,
 )
 from repro.net.partition import PartitionManager
 from repro.net.stats import NetworkStats
@@ -70,7 +69,10 @@ class Network:
     def add_tap(self, fn: Callable[[str, "Envelope"], None]) -> None:
         """Register ``fn(event, envelope)`` called on every ``"send"``,
         ``"deliver"`` and ``"drop"`` — a wire-level observation point for
-        debugging and tracing.  Taps must not mutate the envelope."""
+        debugging and tracing.  Taps must not mutate the envelope, and
+        must not retain it: the ``"send"`` and ``"deliver"`` events for a
+        datagram share one envelope object (built once per datagram), so
+        ``deliver_time`` is filled in after the send tap fires."""
         self._taps.append(fn)
 
     def remove_tap(self, fn) -> None:
@@ -124,59 +126,41 @@ class Network:
     def _transmit(
         self, src: Address, dst: Address, payload: Any, wire_packets: int
     ) -> None:
-        size = payload_size(payload)
+        # Hot path: one envelope per datagram, shared by the send tap and
+        # the delivery event; scheduled as (bound method, envelope) so no
+        # closure is allocated per datagram.
+        category, size = payload_meta(payload)
         total = size + HEADER_BYTES
-        self.stats.record_send(src, payload_category(payload), total)
+        stats = self.stats
+        stats.record_send(src, category, total)
         if wire_packets:
-            self.stats.record_wire(wire_packets)
+            stats.record_wire(wire_packets)
+        scheduler = self._scheduler
+        now = scheduler.now
+        envelope = Envelope(src, dst, payload, now, 0.0, size)
         if self._taps:
-            self._tap(
-                "send",
-                Envelope(
-                    src=src,
-                    dst=dst,
-                    payload=payload,
-                    send_time=self._scheduler.now,
-                    size_bytes=size,
-                ),
-            )
+            self._tap("send", envelope)
         if not self.partitions.reachable(src, dst):
-            self._drop(src, dst, payload, size)
+            self._drop(envelope)
             return
-        if self._rng.chance(self.drop_probability):
-            self._drop(src, dst, payload, size)
+        rng = self._rng
+        if rng.chance(self.drop_probability):
+            self._drop(envelope)
             return
-        self._schedule_delivery(src, dst, payload, size)
-        if self._rng.chance(self.duplicate_probability):
-            self._schedule_delivery(src, dst, payload, size)
+        delay = self._latency.sample(rng, src, dst, total)
+        envelope.deliver_time = now + delay
+        scheduler.at_call(envelope.deliver_time, self._deliver, envelope)
+        if rng.chance(self.duplicate_probability):
+            # The duplicate gets its own latency draw and envelope (the
+            # two copies are independently in flight).
+            delay = self._latency.sample(rng, src, dst, total)
+            duplicate = Envelope(src, dst, payload, now, now + delay, size)
+            scheduler.at_call(duplicate.deliver_time, self._deliver, duplicate)
 
-    def _drop(self, src: Address, dst: Address, payload: Any, size: int) -> None:
+    def _drop(self, envelope: Envelope) -> None:
         self.stats.record_drop()
         if self._taps:
-            self._tap(
-                "drop",
-                Envelope(
-                    src=src,
-                    dst=dst,
-                    payload=payload,
-                    send_time=self._scheduler.now,
-                    size_bytes=size,
-                ),
-            )
-
-    def _schedule_delivery(
-        self, src: Address, dst: Address, payload: Any, size: int
-    ) -> None:
-        delay = self._latency.sample(self._rng, src, dst, size + HEADER_BYTES)
-        envelope = Envelope(
-            src=src,
-            dst=dst,
-            payload=payload,
-            send_time=self._scheduler.now,
-            deliver_time=self._scheduler.now + delay,
-            size_bytes=size,
-        )
-        self._scheduler.at(envelope.deliver_time, lambda: self._deliver(envelope))
+            self._tap("drop", envelope)
 
     def _deliver(self, envelope: Envelope) -> None:
         deliver = self._endpoints.get(envelope.dst)

@@ -25,7 +25,16 @@ Handler = Callable[[Any, Address], None]
 
 
 class Timer:
-    """A cancellable (optionally periodic) timer owned by a process."""
+    """A cancellable (optionally periodic) timer owned by a process.
+
+    A periodic timer owns exactly one scheduler event for its whole life:
+    each tick *re-arms* the fired event object at the next deadline
+    (:meth:`~repro.sim.scheduler.Scheduler.rearm`) instead of allocating a
+    fresh closure, event and handle per tick — the dominant allocation in
+    heartbeat-heavy runs.
+    """
+
+    __slots__ = ("_process", "_delay", "_fn", "_periodic", "_cancelled", "_handle")
 
     def __init__(
         self,
@@ -39,17 +48,18 @@ class Timer:
         self._fn = fn
         self._periodic = periodic
         self._cancelled = False
-        self._handle: Optional[EventHandle] = None
-        self._schedule()
-
-    def _schedule(self) -> None:
-        self._handle = self._process.env.scheduler.after(self._delay, self._fire)
+        self._handle: Optional[EventHandle] = process.env.scheduler.after_call(
+            delay, Timer._fire, self
+        )
 
     def _fire(self) -> None:
         if self._cancelled or not self._process.alive:
             return
         if self._periodic:
-            self._schedule()
+            # Reschedule *before* running the callback (so events the
+            # callback schedules at the same instant order after the next
+            # tick, exactly as the closure-per-tick implementation did).
+            self._process.env.scheduler.rearm(self._handle, self._delay)
         self._fn()
 
     def cancel(self) -> None:

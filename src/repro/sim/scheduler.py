@@ -8,13 +8,27 @@ a given seed and workload.
 
 The scheduler deliberately knows nothing about networks or processes; it is
 a minimal priority-queue event loop that the rest of the library composes.
+
+Performance notes (see docs/simulator.md, "Event-loop internals"):
+
+* Events are ``__slots__`` objects ordered by a precomputed ``(time, seq)``
+  key, so heap sift comparisons are one tuple compare instead of two tuple
+  constructions per comparison.
+* :meth:`Scheduler.at_call` / :meth:`after_call` carry a single argument
+  alongside the callback, letting hot callers (the network's delivery
+  path, periodic timers) avoid allocating a closure per event.
+* :meth:`Scheduler.rearm` re-pushes a *fired* event object at a new time,
+  so periodic timers reuse one event + handle for their whole life.
+* Cancellation stays lazy (O(1)), but the scheduler counts cancelled
+  events still sitting in the heap and compacts the heap when they exceed
+  :data:`COMPACT_MIN` *and* outnumber the live events — long churn runs
+  no longer accumulate dead heartbeat timers.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 
 class SimulationError(RuntimeError):
@@ -22,29 +36,50 @@ class SimulationError(RuntimeError):
     the past or running a finished scheduler)."""
 
 
-@dataclass(order=True)
+_NO_ARG = object()  # sentinel: "call fn with no argument"
+
+# Compact the heap when more than COMPACT_MIN cancelled events are queued
+# and they make up over half of the heap.
+COMPACT_MIN = 64
+
+
 class _Event:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("key", "fn", "arg", "cancelled", "in_heap")
+
+    def __init__(self, key: tuple, fn: Callable, arg: Any) -> None:
+        self.key = key
+        self.fn = fn
+        self.arg = arg
+        self.cancelled = False
+        self.in_heap = True
+
+    def __lt__(self, other: "_Event") -> bool:
+        return self.key < other.key
 
 
 class EventHandle:
     """Handle returned by :meth:`Scheduler.at`; allows cancellation.
 
     Cancellation is lazy: the event stays in the heap but is skipped when it
-    reaches the front, which keeps cancellation O(1).
+    reaches the front, which keeps cancellation O(1).  The scheduler tracks
+    how many cancelled events are queued and compacts the heap when they
+    dominate it.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_scheduler")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, scheduler: "Scheduler") -> None:
         self._event = event
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; safe after firing."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if event.in_heap:
+            self._scheduler._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -53,7 +88,7 @@ class EventHandle:
     @property
     def time(self) -> float:
         """Simulated time at which the event is (or was) due."""
-        return self._event.time
+        return self._event.key[0]
 
 
 class Scheduler:
@@ -74,6 +109,8 @@ class Scheduler:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        self._live = 0  # events queued and not cancelled
+        self._cancelled_in_heap = 0  # lazily cancelled, awaiting pop/compact
 
     @property
     def now(self) -> float:
@@ -87,8 +124,18 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of queued events, including lazily cancelled ones."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of queued live events, excluding lazily cancelled ones.
+
+        O(1): maintained as a counter rather than scanned from the heap.
+        """
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, including lazily cancelled events."""
+        return len(self._heap)
+
+    # -- scheduling ----------------------------------------------------------
 
     def at(self, time: float, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` to run at absolute simulated time ``time``."""
@@ -96,10 +143,11 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule event at {time:.6f} < now {self._now:.6f}"
             )
-        event = _Event(time=time, seq=self._seq, fn=fn)
+        event = _Event((time, self._seq), fn, _NO_ARG)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def after(self, delay: float, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` to run ``delay`` time units from now."""
@@ -107,15 +155,94 @@ class Scheduler:
             raise SimulationError(f"negative delay {delay!r}")
         return self.at(self._now + delay, fn)
 
+    def at_call(self, time: float, fn: Callable[[Any], None], arg: Any) -> EventHandle:
+        """Fast path: schedule ``fn(arg)`` at ``time``.
+
+        Storing the argument on the event (instead of closing over it)
+        saves one closure allocation per event — the dominant allocation
+        in message-heavy runs.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f} < now {self._now:.6f}"
+            )
+        event = _Event((time, self._seq), fn, arg)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event, self)
+
+    def after_call(self, delay: float, fn: Callable[[Any], None], arg: Any) -> EventHandle:
+        """Fast path: schedule ``fn(arg)`` to run ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.at_call(self._now + delay, fn, arg)
+
+    def rearm(self, handle: EventHandle, delay: float) -> EventHandle:
+        """Re-push a *fired* event at ``now + delay``, reusing its event
+        object and handle (no allocation).  Periodic timers use this so a
+        million ticks cost one event object, not a million.
+
+        The event must not currently be queued; its cancelled flag is
+        cleared (re-arming an event is scheduling it anew).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        event = handle._event
+        if event.in_heap:
+            raise SimulationError("cannot rearm an event that is still queued")
+        event.key = (self._now + delay, self._seq)
+        self._seq += 1
+        event.cancelled = False
+        event.in_heap = True
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return handle
+
+    # -- cancellation bookkeeping --------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > COMPACT_MIN
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop lazily cancelled events and re-heapify the survivors."""
+        live = []
+        append = live.append
+        for event in self._heap:
+            if event.cancelled:
+                event.in_heap = False
+            else:
+                append(event)
+        self._heap = live
+        heapq.heapify(live)
+        self._cancelled_in_heap = 0
+
+    # -- running -------------------------------------------------------------
+
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            event = pop(heap)
+            event.in_heap = False
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            self._now = event.time
+            self._now = event.key[0]
             self._events_processed += 1
-            event.fn()
+            self._live -= 1
+            arg = event.arg
+            if arg is _NO_ARG:
+                event.fn()
+            else:
+                event.fn(arg)
             return True
         return False
 
@@ -135,22 +262,54 @@ class Scheduler:
         if self._running:
             raise SimulationError("scheduler re-entered from within an event")
         self._running = True
-        fired = 0
+        heap = self._heap
+        pop = heapq.heappop
+        no_arg = _NO_ARG
         try:
-            while self._heap:
+            if until is None and max_events is None:
+                # Hot unbounded loop: no bound checks per iteration.
+                while heap:
+                    head = pop(heap)
+                    head.in_heap = False
+                    if head.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    self._now = head.key[0]
+                    self._events_processed += 1
+                    self._live -= 1
+                    arg = head.arg
+                    if arg is no_arg:
+                        head.fn()
+                    else:
+                        head.fn(arg)
+                    # An event may cancel-and-compact, invalidating `heap`.
+                    heap = self._heap
+                return
+            fired = 0
+            while heap:
                 if max_events is not None and fired >= max_events:
                     return
-                head = self._heap[0]
+                head = heap[0]
                 if head.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    head.in_heap = False
+                    self._cancelled_in_heap -= 1
                     continue
-                if until is not None and head.time > until:
+                head_time = head.key[0]
+                if until is not None and head_time > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = head.time
+                pop(heap)
+                head.in_heap = False
+                self._now = head_time
                 self._events_processed += 1
+                self._live -= 1
                 fired += 1
-                head.fn()
+                arg = head.arg
+                if arg is no_arg:
+                    head.fn()
+                else:
+                    head.fn(arg)
+                heap = self._heap
             if until is not None and until > self._now:
                 self._now = until
         finally:

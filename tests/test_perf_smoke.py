@@ -1,0 +1,69 @@
+"""Quick smoke test over the perf harness scenarios.
+
+Runs miniature versions of the ``tools/perf_report.py`` scenarios inside
+the default test suite so the harness itself cannot rot.  Deliberately no
+wall-clock assertions — CI machines vary; timing claims live in
+``BENCH_core.json`` (written by ``make bench-report``).  What *is*
+asserted is structural: each scenario completes, processes a plausible
+number of events, reports a behaviour fingerprint, and keeps the event
+heap bounded.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from tools.perf_report import build_scenarios, compute_speedups, run_suite
+
+
+def test_quick_suite_runs_all_scenarios():
+    scenarios = build_scenarios(quick=True)
+    results = run_suite(quick=True)
+    assert set(results) == set(scenarios)
+    for name, result in results.items():
+        assert result["events"] > 1000, name
+        assert result["wall_s"] > 0.0, name
+        assert result["fingerprint"]["events_processed"] > 0, name
+
+
+def test_scenarios_keep_heap_bounded():
+    results = run_suite(quick=True, only=["hier_steady_n64", "churn"])
+    for name, result in results.items():
+        # The heap watermark must stay far below the number of events
+        # processed — cancelled timers are compacted, not accumulated.
+        assert result["peak_heap"] < result["events"] / 10, name
+
+
+def test_scenario_fingerprints_are_deterministic():
+    a = run_suite(quick=True, only=["churn"])["churn"]["fingerprint"]
+    b = run_suite(quick=True, only=["churn"])["churn"]["fingerprint"]
+    assert a == b
+
+
+def test_compute_speedups_shape():
+    quick = run_suite(quick=True, only=["scheduler_micro"])
+    report = {
+        "runs": {
+            "baseline": {"scenarios": quick, "quick": True},
+            "optimized": {"scenarios": quick, "quick": True},
+        }
+    }
+    compute_speedups(report)
+    assert report["speedup"]["scheduler_micro"] == 1.0
+    assert report["fingerprints_identical"] == {"scheduler_micro": True}
+
+
+def test_bench_core_json_records_the_claimed_speedup():
+    """The committed BENCH_core.json must back the >=1.5x headline."""
+    import json
+
+    path = Path(__file__).parent.parent / "BENCH_core.json"
+    if not path.exists() or os.environ.get("REPRO_SKIP_BENCH_CHECK"):
+        return  # fresh checkout mid-rebaseline
+    report = json.loads(path.read_text())
+    assert {"baseline", "optimized"} <= set(report["runs"])
+    assert all(report["fingerprints_identical"].values())
+    hier = [v for k, v in report["speedup"].items() if k.startswith("hier_steady")]
+    assert hier and max(hier) >= 1.5

@@ -157,6 +157,194 @@ def test_pending_excludes_cancelled():
     assert sched.pending == 1
 
 
+def test_pending_is_a_counter_not_a_scan():
+    sched = Scheduler()
+    handles = [sched.at(float(i), lambda: None) for i in range(10)]
+    assert sched.pending == 10
+    for h in handles[:4]:
+        h.cancel()
+    assert sched.pending == 6
+    sched.run(max_events=3)
+    assert sched.pending == 3
+    sched.run()
+    assert sched.pending == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    sched = Scheduler()
+    handle = sched.at(1.0, lambda: None)
+    sched.at(2.0, lambda: None)
+    sched.run(until=1.0)
+    assert sched.pending == 1
+    handle.cancel()  # already fired: must not decrement live count
+    handle.cancel()  # idempotent
+    assert sched.pending == 1
+    sched.run()
+    assert sched.pending == 0
+
+
+def test_double_cancel_counts_once():
+    sched = Scheduler()
+    handle = sched.at(1.0, lambda: None)
+    sched.at(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sched.pending == 1
+    sched.run()
+    assert sched.events_processed == 1
+
+
+def test_run_max_events_resumption_preserves_order_and_clock():
+    sched = Scheduler()
+    fired = []
+    for i in range(9):
+        sched.at(float(i), lambda i=i: fired.append(i))
+    sched.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+    assert sched.now == 3.0
+    sched.run(max_events=2)
+    assert fired == [0, 1, 2, 3, 4, 5]
+    sched.run(until=100.0)
+    assert fired == list(range(9))
+    assert sched.now == 100.0
+
+
+def test_run_for_through_quiet_periods_accumulates_time():
+    sched = Scheduler()
+    fired = []
+    sched.at(7.5, lambda: fired.append(sched.now))
+    for _ in range(5):
+        sched.run_for(2.0)
+    assert sched.now == 10.0
+    assert fired == [7.5]
+
+
+def test_at_call_passes_argument_without_closure():
+    sched = Scheduler()
+    seen = []
+    sched.at_call(1.0, seen.append, "x")
+    sched.after_call(2.0, seen.append, "y")
+    handle = sched.at_call(3.0, seen.append, "z")
+    handle.cancel()
+    sched.run()
+    assert seen == ["x", "y"]
+
+
+def test_at_call_interleaves_fifo_with_at():
+    sched = Scheduler()
+    fired = []
+    sched.at(1.0, lambda: fired.append("a"))
+    sched.at_call(1.0, fired.append, "b")
+    sched.at(1.0, lambda: fired.append("c"))
+    sched.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_rearm_reuses_event_object():
+    sched = Scheduler()
+    fired = []
+    handle = sched.at_call(1.0, fired.append, "tick")
+    sched.run()
+    assert fired == ["tick"]
+    assert sched.rearm(handle, 2.0) is handle
+    assert handle.time == 3.0
+    assert not handle.cancelled
+    sched.run()
+    assert fired == ["tick", "tick"]
+    assert sched.now == 3.0
+
+
+def test_rearm_rejects_queued_event():
+    sched = Scheduler()
+    handle = sched.at(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sched.rearm(handle, 1.0)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.rearm(handle, -0.5)
+
+
+def test_rearm_after_cancel_reschedules():
+    sched = Scheduler()
+    fired = []
+    handle = sched.at_call(1.0, fired.append, 1)
+    sched.run()
+    handle.cancel()  # cancel after fire
+    sched.rearm(handle, 1.0)  # re-arming clears the cancelled flag
+    assert not handle.cancelled
+    sched.run()
+    assert fired == [1, 1]
+
+
+def test_heap_compaction_under_mass_cancellation():
+    sched = Scheduler()
+    fired = []
+    keep = sched.at(10.0, lambda: fired.append("keep"))
+    handles = [sched.at(5.0 + i * 1e-6, lambda: fired.append("bad")) for i in range(500)]
+    assert sched.heap_size == 501
+    for h in handles:
+        h.cancel()
+    # Lazily cancelled events must have been compacted away, not left to
+    # linger until the clock reaches them.
+    assert sched.heap_size < 500
+    assert sched.pending == 1
+    sched.run()
+    assert fired == ["keep"]
+    assert sched.events_processed == 1
+    assert keep.time == 10.0
+
+
+def test_compaction_preserves_order_and_survivors():
+    sched = Scheduler()
+    fired = []
+    survivors = []
+    doomed = []
+    for i in range(300):
+        t = 1.0 + (i % 7) * 0.1
+        h = sched.at(t, lambda i=i: fired.append(i))
+        (doomed if i % 3 else survivors).append((t, i, h))
+    for _t, _i, h in doomed:
+        h.cancel()
+    sched.run()
+    expected = [i for t, i, _h in sorted(survivors, key=lambda s: (s[0], s[1]))]
+    assert fired == expected
+
+
+def test_compaction_during_run_via_cancelling_event():
+    sched = Scheduler()
+    fired = []
+    handles = [sched.at(5.0 + i * 1e-6, lambda: fired.append("bad")) for i in range(300)]
+
+    def cancel_all():
+        for h in handles:
+            h.cancel()
+
+    sched.at(1.0, cancel_all)
+    sched.at(6.0, lambda: fired.append("end"))
+    sched.run()
+    assert fired == ["end"]
+
+
+def test_cancelled_periodic_stream_does_not_leak_heap():
+    sched = Scheduler()
+    # Simulates heartbeat-timer churn: schedule+cancel in a rolling window.
+    live = []
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < 2000:
+            live.append(sched.after(1.0, tick))
+            handle = sched.after(5.0, lambda: None)
+            handle.cancel()
+
+    sched.after(1.0, tick)
+    sched.run()
+    assert count[0] == 2000
+    # The heap must stay bounded, not accumulate 2000 cancelled events.
+    assert sched.heap_size <= 200
+
+
 def test_reentrant_run_rejected():
     sched = Scheduler()
     errors = []

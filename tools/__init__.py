@@ -1,0 +1,3 @@
+"""Developer tooling (perf reports, trajectory tracking) — not shipped
+with the :mod:`repro` package.  Run with ``PYTHONPATH=src`` from the repo
+root, e.g. ``python -m tools.perf_report --quick``."""

@@ -1,0 +1,375 @@
+"""Wall-clock performance report for the discrete-event core.
+
+Measures what the simulator actually costs per event — the number every
+experiment in EXPERIMENTS.md is bottlenecked by — and records the
+trajectory in ``BENCH_core.json`` so perf work is visible across PRs.
+
+Scenarios:
+
+``scheduler_micro``
+    Pure scheduler churn: self-rescheduling chains, batch scheduling and
+    mass cancellation, no network.  Isolates heap + event-object cost.
+
+``flat_steady_n64`` / ``flat_steady_n256``
+    A flat group of n members with heartbeat failure detection and
+    stability gossip on — every member pings every other, the paper's
+    "costs grow with the square of the group" regime (§2).
+
+``hier_steady_n64`` / ``hier_steady_n256``
+    The same steady state under the paper's hierarchy: members heartbeat
+    only within their leaf group, leaders within the leader group.
+
+``churn``
+    A flat heartbeat-monitored group with a rolling crash/recover cycle:
+    exercises suspicion, flush, rejoin, and the scheduler's lazily
+    cancelled timer events (the heap-compaction path).
+
+Each scenario reports wall seconds, events fired, events/sec and peak
+heap size, plus a behaviour fingerprint (message/byte/drop counters and a
+delivery-order digest) that must be identical between the ``baseline``
+and ``optimized`` labels — perf work must not change simulation output.
+
+Usage::
+
+    PYTHONPATH=src python -m tools.perf_report                # full suite
+    PYTHONPATH=src python -m tools.perf_report --quick        # CI smoke
+    PYTHONPATH=src python -m tools.perf_report --label optimized --merge
+
+``--merge`` updates the existing JSON in place (keeping other labels) and
+recomputes baseline→optimized speedups when both are present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.failure.detector import HeartbeatDetector
+from repro.metrics.digest import DeliveryDigest
+from repro.net import FixedLatency
+from repro.proc import Environment
+from repro.sim import Scheduler
+
+HEARTBEAT_INTERVAL = 0.2
+SUSPECT_AFTER = 1.0
+GOSSIP_INTERVAL = 0.5
+
+
+def _heartbeat_factory(node):
+    return HeartbeatDetector(
+        node, interval=HEARTBEAT_INTERVAL, suspect_after=SUSPECT_AFTER
+    )
+
+
+def pin_hash_seed() -> None:
+    """Re-exec with ``PYTHONHASHSEED=0`` so fingerprints are comparable.
+
+    :meth:`SimRandom.fork` derives child seeds with ``hash()`` over a
+    label string, and string hashing is randomized per process — the
+    hierarchical scenarios consume those streams, so their behaviour
+    fingerprints are only stable across runs under a pinned hash seed.
+    """
+    if os.environ.get("PYTHONHASHSEED") == "0":
+        return
+    env = dict(os.environ, PYTHONHASHSEED="0")
+    os.execve(sys.executable, [sys.executable, "-m", "tools.perf_report"] + sys.argv[1:], env)
+
+
+class _HeapWatch:
+    """Samples the scheduler's raw heap size every ``interval`` sim
+    seconds (cheap probe events; identical overhead for every label)."""
+
+    def __init__(self, scheduler: Scheduler, interval: float = 0.05) -> None:
+        self._scheduler = scheduler
+        self._interval = interval
+        self.peak = 0
+        scheduler.after(interval, self._probe)
+
+    def _probe(self) -> None:
+        size = self._scheduler.heap_size
+        if size > self.peak:
+            self.peak = size
+        self._scheduler.after(self._interval, self._probe)
+
+
+def _fingerprint(env: Environment, digest: Optional[DeliveryDigest]) -> Dict:
+    stats = env.network.stats
+    fp = {
+        "messages": stats.messages,
+        "wire_packets": stats.wire_packets,
+        "bytes": stats.bytes,
+        "dropped": stats.dropped,
+        "events_processed": env.scheduler.events_processed,
+        "final_now": round(env.now, 9),
+    }
+    if digest is not None:
+        fp["delivery_digest"] = digest.hexdigest()
+        fp["deliveries"] = digest.count
+    return fp
+
+
+def _timed_run(env: Environment, duration: float) -> Dict:
+    """Run ``duration`` sim seconds under the wall clock and report."""
+    watch = _HeapWatch(env.scheduler)
+    before_events = env.scheduler.events_processed
+    t0 = time.perf_counter()
+    env.run_for(duration)
+    wall = time.perf_counter() - t0
+    events = env.scheduler.events_processed - before_events
+    return {
+        "wall_s": round(wall, 4),
+        "sim_s": duration,
+        "events": events,
+        "events_per_sec": round(events / wall) if wall > 0 else None,
+        "peak_heap": watch.peak,
+    }
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def scenario_scheduler_micro(quick: bool) -> Dict:
+    """Scheduler-only churn: chains, batches, and mass cancellation."""
+    n_chain = 20_000 if quick else 150_000
+    n_batch = 20_000 if quick else 100_000
+    n_cancel = 10_000 if quick else 50_000
+
+    sched = Scheduler()
+    remaining = [n_chain]
+
+    def chain() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sched.after(0.001, chain)
+
+    # Eight interleaved self-rescheduling chains (timer-like load).
+    for i in range(8):
+        sched.after(0.001 * (i + 1), chain)
+    # A batch of one-shot events (message-like load).
+    for i in range(n_batch):
+        sched.at(0.5 + i * 1e-6, lambda: None)
+    # Schedule-then-cancel churn (retransmission-timer-like load).
+    handles = [sched.at(1.0 + i * 1e-6, lambda: None) for i in range(n_cancel)]
+    for i, handle in enumerate(handles):
+        if i % 2 == 0:
+            handle.cancel()
+
+    t0 = time.perf_counter()
+    sched.run()
+    wall = time.perf_counter() - t0
+    events = sched.events_processed
+    return {
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall > 0 else None,
+        "peak_heap": None,
+        "fingerprint": {"events_processed": events, "final_now": round(sched.now, 9)},
+    }
+
+
+def _build_flat(
+    n: int, seed: int, gossip: Optional[float] = GOSSIP_INTERVAL
+) -> Environment:
+    from repro.membership import build_group
+
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    build_group(
+        env,
+        "svc",
+        n,
+        detector_factory=_heartbeat_factory,
+        gossip_interval=gossip,
+    )
+    return env
+
+
+def scenario_flat_steady(n: int, sim_s: float, seed: int = 11) -> Dict:
+    # Stability gossip off: a flat group's all-to-all gossip is dominated
+    # by O(n)-wide ordering metadata (protocol-layer cost), which would
+    # drown the event-core cost this scenario isolates.  Heartbeats stay
+    # on — every member pings every other, the paper's n^2 regime.
+    env = _build_flat(n, seed, gossip=None)
+    env.run_for(1.5)  # settle (untimed)
+    digest = DeliveryDigest(env.network)
+    result = _timed_run(env, sim_s)
+    result["fingerprint"] = _fingerprint(env, digest)
+    return result
+
+
+def _build_hier(n: int, seed: int, join_stagger: float) -> Environment:
+    from repro.core import (
+        LargeGroupParams,
+        build_large_group,
+        build_leader_group,
+    )
+
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    params = LargeGroupParams(resiliency=3, fanout=8)
+    leaders = build_leader_group(
+        env,
+        "svc",
+        params,
+        detector_factory=_heartbeat_factory,
+        gossip_interval=GOSSIP_INTERVAL,
+    )
+    contacts = tuple(r.node.address for r in leaders)
+    build_large_group(
+        env,
+        "svc",
+        n,
+        params,
+        contacts,
+        join_stagger=join_stagger,
+        detector_factory=_heartbeat_factory,
+        gossip_interval=GOSSIP_INTERVAL,
+    )
+    return env
+
+
+def scenario_hier_steady(
+    n: int, sim_s: float, seed: int = 13, settle: float = 6.0
+) -> Dict:
+    env = _build_hier(n, seed, join_stagger=0.02)
+    env.run_for(settle + 0.02 * n)  # joins staggered, tree settles (untimed)
+    digest = DeliveryDigest(env.network)
+    result = _timed_run(env, sim_s)
+    result["fingerprint"] = _fingerprint(env, digest)
+    return result
+
+
+def scenario_churn(sim_s: float, n: int = 24, seed: int = 17) -> Dict:
+    """Rolling crash/recover over a heartbeat-monitored flat group."""
+    env = _build_flat(n, seed)
+    env.run_for(1.5)  # settle (untimed)
+    period = 0.5
+    cycles = int(sim_s / period) - 2
+    for i in range(max(cycles, 0)):
+        victim = f"svc-{1 + (i % (n - 1))}"
+        t = env.now + period * (i + 1)
+        env.scheduler.at(t, lambda v=victim: env.crash(v))
+        env.scheduler.at(
+            t + period * 1.5, lambda v=victim: env.process(v).recover()
+        )
+    digest = DeliveryDigest(env.network)
+    result = _timed_run(env, sim_s)
+    result["fingerprint"] = _fingerprint(env, digest)
+    return result
+
+
+def build_scenarios(quick: bool) -> Dict[str, Callable[[], Dict]]:
+    if quick:
+        return {
+            "scheduler_micro": lambda: scenario_scheduler_micro(True),
+            "flat_steady_n64": lambda: scenario_flat_steady(64, 1.0),
+            "hier_steady_n64": lambda: scenario_hier_steady(64, 1.5, settle=4.0),
+            "churn": lambda: scenario_churn(3.0),
+        }
+    return {
+        "scheduler_micro": lambda: scenario_scheduler_micro(False),
+        "flat_steady_n64": lambda: scenario_flat_steady(64, 4.0),
+        "flat_steady_n256": lambda: scenario_flat_steady(256, 1.0),
+        "hier_steady_n64": lambda: scenario_hier_steady(64, 6.0),
+        "hier_steady_n256": lambda: scenario_hier_steady(256, 3.0),
+        "churn": lambda: scenario_churn(10.0),
+    }
+
+
+# -- report assembly ---------------------------------------------------------
+
+
+def run_suite(quick: bool, only: Optional[List[str]] = None) -> Dict[str, Dict]:
+    scenarios = build_scenarios(quick)
+    if only:
+        unknown = set(only) - set(scenarios)
+        if unknown:
+            raise SystemExit(f"unknown scenario(s): {sorted(unknown)}")
+        scenarios = {k: v for k, v in scenarios.items() if k in only}
+    results: Dict[str, Dict] = {}
+    for name, fn in scenarios.items():
+        print(f"  running {name} ...", flush=True)
+        results[name] = fn()
+        r = results[name]
+        eps = r.get("events_per_sec")
+        print(
+            f"    {r['events']} events in {r['wall_s']}s"
+            + (f" ({eps:,} events/sec)" if eps else "")
+        )
+    return results
+
+
+def compute_speedups(report: Dict) -> None:
+    runs = report.get("runs", {})
+    base = runs.get("baseline", {}).get("scenarios")
+    opt = runs.get("optimized", {}).get("scenarios")
+    if not base or not opt:
+        report.pop("speedup", None)
+        return
+    speedup = {}
+    for name, b in base.items():
+        o = opt.get(name)
+        if not o or not b.get("events_per_sec") or not o.get("events_per_sec"):
+            continue
+        speedup[name] = round(o["events_per_sec"] / b["events_per_sec"], 3)
+    report["speedup"] = speedup
+    fp_match = {}
+    for name, b in base.items():
+        o = opt.get(name)
+        if o and "fingerprint" in b and "fingerprint" in o:
+            fp_match[name] = b["fingerprint"] == o["fingerprint"]
+    report["fingerprints_identical"] = fp_match
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="small CI sizes")
+    parser.add_argument("--out", default="BENCH_core.json")
+    parser.add_argument("--label", default="optimized")
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="update an existing report in place, keeping other labels",
+    )
+    parser.add_argument(
+        "--scenario", action="append", help="run only the named scenario(s)"
+    )
+    args = parser.parse_args(argv)
+
+    if argv is None:
+        pin_hash_seed()
+    print(f"perf_report: label={args.label} quick={args.quick}")
+    scenarios = run_suite(args.quick, args.scenario)
+
+    report: Dict = {"benchmark": "bench_perf_core", "runs": {}}
+    if args.merge:
+        try:
+            with open(args.out) as fh:
+                report = json.load(fh)
+        except (OSError, ValueError):
+            pass
+    report.setdefault("runs", {})
+    entry = report["runs"].setdefault(args.label, {"scenarios": {}})
+    if args.scenario:
+        entry.setdefault("scenarios", {}).update(scenarios)
+    else:
+        entry["scenarios"] = scenarios
+    entry["quick"] = args.quick
+    compute_speedups(report)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if "speedup" in report:
+        for name, ratio in sorted(report["speedup"].items()):
+            match = report.get("fingerprints_identical", {}).get(name)
+            tag = "" if match is None else (" [identical]" if match else " [DIVERGED]")
+            print(f"  {name}: {ratio}x{tag}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
