@@ -1,20 +1,33 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-report bench-quick perf-smoke clean
+.PHONY: test lint lint-baseline sanitize bench bench-report bench-quick perf-smoke clean
 
 ## Tier-1: unit + integration tests (includes the quick perf smoke).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Static determinism & protocol-safety analysis (tools/lint, RL001…RL007).
+lint:
+	$(PYTHON) -m tools.lint src/repro
+
+## Rewrite the grandfathered-findings baseline from the current tree.
+lint-baseline:
+	$(PYTHON) -m tools.lint src/repro --update-baseline
+
+## Runtime virtual-synchrony sanitizer suite (VS001…VS006 hooks).
+sanitize:
+	$(PYTHON) -m pytest tests/test_sanitizer.py -q
 
 ## Paper experiments + event-core perf scenarios under pytest-benchmark.
 bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-only
 
 ## Wall-clock perf suite: re-measures the current tree and merges the
-## numbers into BENCH_core.json next to the recorded baseline.
+## numbers into BENCH_core.json next to the recorded baseline.  The
+## --lint preflight refuses to benchmark a nondeterministic tree.
 bench-report:
-	$(PYTHON) -m tools.perf_report --label optimized --out BENCH_core.json --merge
+	$(PYTHON) -m tools.perf_report --lint --label optimized --out BENCH_core.json --merge
 
 ## Fast variant of the perf suite for local iteration (no JSON merge).
 bench-quick:

@@ -372,9 +372,9 @@ class LeaderReplica:
         for leaf in self.state.leaves.values():
             if leaf.coordinator is not None:
                 wanted[leaf.coordinator] = leaf.leaf_id
-        for address in self._watched - set(wanted):
+        for address in sorted(self._watched - set(wanted)):
             self.node.runtime.unwatch(address, f"{self.service}/leafwatch")
-        for address in set(wanted) - self._watched:
+        for address in sorted(set(wanted) - self._watched):
             self.node.runtime.watch(address, f"{self.service}/leafwatch")
         self._watched = set(wanted)
         self._coordinator_of = wanted

@@ -633,7 +633,7 @@ class GroupMember:
 
         # Failure detection follows the view.
         old_members = set(old_view.members) if old_view else set()
-        for departed in old_members - set(new_view.members):
+        for departed in sorted(old_members - set(new_view.members)):
             self.runtime.unwatch(departed, self.group)
         for member in new_view.members:
             if member != self.me:

@@ -9,12 +9,22 @@ from repro.metrics.counters import (
 )
 from repro.metrics.digest import DeliveryDigest
 from repro.metrics.recorder import TimeSeriesRecorder
+from repro.metrics.sanitizer import (
+    Violation,
+    VirtualSynchronySanitizer,
+    VirtualSynchronyViolation,
+    install_sanitizer,
+)
 from repro.metrics.tables import format_table, print_table
 
 __all__ = [
     "DeliveryDigest",
     "LatencySample",
     "TimeSeriesRecorder",
+    "Violation",
+    "VirtualSynchronySanitizer",
+    "VirtualSynchronyViolation",
+    "install_sanitizer",
     "data_messages",
     "fit_power_law",
     "format_table",

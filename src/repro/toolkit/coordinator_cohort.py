@@ -72,15 +72,18 @@ class GetMembers:
 class _CCDispatch:
     """Per-process demux for coordinator-cohort wire types."""
 
-    _instances: "WeakValueDictionary[int, _CCDispatch]" = WeakValueDictionary()
+    # Keyed by the process's stable address, never id(): CPython reuses
+    # object ids after GC, which can silently alias two distinct process
+    # objects to one dispatch table.
+    _instances: "WeakValueDictionary[Address, _CCDispatch]" = WeakValueDictionary()
 
     @classmethod
     def for_process(cls, process: Process, rpc=None) -> "_CCDispatch":
-        existing = cls._instances.get(id(process))
-        if existing is not None:
+        existing = cls._instances.get(process.address)
+        if existing is not None and existing.process is process:
             return existing
         dispatch = cls(process, rpc)
-        cls._instances[id(process)] = dispatch
+        cls._instances[process.address] = dispatch
         return dispatch
 
     def __init__(self, process: Process, rpc=None) -> None:

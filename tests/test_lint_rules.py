@@ -1,0 +1,169 @@
+"""repro-lint: every rule catches its seeded violation fixture, clean
+idioms stay quiet, suppression and baseline work, and the live tree is
+clean modulo the checked-in baseline."""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from tools.lint import lint_source, load_baseline, new_findings, run
+from tools.lint.engine import DEFAULT_BASELINE
+from tools.lint.rules import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PROTO = "src/repro/membership/fixture.py"  # a protocol-package path
+PLAIN = "src/repro/metrics/fixture.py"  # a non-protocol path
+
+
+def codes(source, path=PROTO):
+    return [f.code for f in lint_source(textwrap.dedent(source), path)]
+
+
+# ----------------------------------------------------------- rule fixtures
+
+
+def test_rl001_wall_clock_sources():
+    assert "RL001" in codes("import time\nt = time.time()\n")
+    assert "RL001" in codes("from time import monotonic\nmonotonic()\n")
+    assert "RL001" in codes(
+        "from datetime import datetime\nstamp = datetime.now()\n"
+    )
+    assert "RL001" in codes("import datetime\nd = datetime.date.today()\n")
+    # Simulated time is the approved clock.
+    assert codes("now = env.scheduler.now\n") == []
+
+
+def test_rl002_stdlib_random():
+    assert "RL002" in codes("import random\n")
+    assert "RL002" in codes("from random import choice\n")
+    assert "RL002" in codes("import secrets\n")
+    # sim/rand.py is the one sanctioned home.
+    assert codes("import random\n", path="src/repro/sim/rand.py") == []
+
+
+def test_rl003_unordered_iteration_in_protocol_code():
+    assert "RL003" in codes("for x in set(items):\n    use(x)\n")
+    assert "RL003" in codes("for a in set(wanted) - watched:\n    pass\n")
+    assert "RL003" in codes("out = [f(x) for x in {1, 2, 3}]\n")
+    assert "RL003" in codes("members = tuple(set(alive))\n")
+    assert "RL003" in codes("for k in d.keys() - other:\n    pass\n")
+    assert "RL003" in codes("for m in alive.difference(dead):\n    pass\n")
+    # sorted() fixes the order; order-insensitive consumers are fine.
+    assert codes("for x in sorted(set(items)):\n    use(x)\n") == []
+    assert codes("n = len(set(items))\n") == []
+    assert codes("ok = x in set(items)\n") == []
+    # Outside protocol packages the rule is silent.
+    assert codes("for x in set(items):\n    use(x)\n", path=PLAIN) == []
+
+
+def test_rl004_identity_keys():
+    assert "RL004" in codes("table[id(process)] = x\n")
+    assert "RL004" in codes("existing = table.get(id(process))\n")
+    assert "RL004" in codes("order[hash(view)] = 1\n")
+    assert "RL004" in codes("first = hash(a) < hash(b)\n")
+    # hash() as a return value (defining __hash__) is fine.
+    assert codes("def f(self):\n    return hash(frozenset(s))\n") == []
+
+
+def test_rl005_mutable_defaults():
+    assert "RL005" in codes("def f(x, acc=[]):\n    pass\n")
+    assert "RL005" in codes("def f(x, acc={}):\n    pass\n")
+    assert "RL005" in codes("def f(x, acc=set()):\n    pass\n")
+    assert "RL005" in codes("def f(x, *, acc=dict()):\n    pass\n")
+    assert codes("def f(x, acc=None):\n    pass\n") == []
+    assert codes("def f(x, acc=()):\n    pass\n") == []
+
+
+def test_rl006_float_equality_on_time():
+    assert "RL006" in codes("if deadline == scheduler.now:\n    pass\n")
+    assert "RL006" in codes("ready = t != self._now\n")
+    assert codes("late = scheduler.now >= deadline\n") == []
+    assert codes("if self._join_timer == None:\n    pass\n", path=PLAIN) == []
+
+
+def test_rl007_scheduler_internals():
+    assert "RL007" in codes("import heapq\n")
+    assert "RL007" in codes("from heapq import heappush\n")
+    assert "RL007" in codes("evts = env.scheduler._heap\n")
+    assert "RL007" in codes("n = scheduler._seq\n")
+    # The scheduler itself owns its heap.
+    assert codes("import heapq\n", path="src/repro/sim/scheduler.py") == []
+    assert codes("t = env.scheduler.now\n") == []
+
+
+def test_every_rule_has_a_code_and_hint():
+    seen = set()
+    for rule in ALL_RULES:
+        assert rule.code.startswith("RL") and len(rule.code) == 5
+        assert rule.code not in seen
+        assert rule.hint
+        seen.add(rule.code)
+
+
+# ------------------------------------------------- suppression & baseline
+
+
+def test_per_line_suppression():
+    src = "for x in set(items):  # repro-lint: disable=RL003\n    use(x)\n"
+    assert codes(src) == []
+    # Suppressing a different code does not silence the finding.
+    src = "for x in set(items):  # repro-lint: disable=RL004\n    use(x)\n"
+    assert codes(src) == ["RL003"]
+
+
+def test_baseline_grandfathers_existing_findings(tmp_path):
+    bad = tmp_path / "src" / "repro" / "membership" / "old.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("for x in set(items):\n    use(x)\n")
+    root = [str(tmp_path / "src" / "repro")]
+    # No baseline: the finding is a failure.
+    code, report = run(root, baseline_path=tmp_path / "b.json", repo_root=tmp_path)
+    assert code == 1 and "RL003" in report
+    # Record it, then the same tree passes...
+    code, _ = run(
+        root,
+        baseline_path=tmp_path / "b.json",
+        update_baseline=True,
+        repo_root=tmp_path,
+    )
+    assert code == 0
+    code, report = run(root, baseline_path=tmp_path / "b.json", repo_root=tmp_path)
+    assert code == 0 and "grandfathered" in report
+    # ...until the bucket grows: a second violation in the file fails.
+    bad.write_text(
+        "for x in set(items):\n    use(x)\nfor y in set(more):\n    use(y)\n"
+    )
+    code, report = run(root, baseline_path=tmp_path / "b.json", repo_root=tmp_path)
+    assert code == 1
+
+
+# ------------------------------------------------------------- live tree
+
+
+def test_live_tree_is_clean_modulo_baseline():
+    code, report = run(
+        [str(REPO_ROOT / "src" / "repro")],
+        baseline_path=DEFAULT_BASELINE,
+        repo_root=REPO_ROOT,
+    )
+    assert code == 0, f"repro-lint regressions:\n{report}"
+
+
+def test_checked_in_baseline_is_empty():
+    """The tree was scrubbed in this PR; keep it that way.  If you must
+    grandfather a finding, document it in docs/devtools.md."""
+    assert load_baseline(DEFAULT_BASELINE) == {}
+
+
+def test_cli_smoke():
+    """Tier-1 gate: `python -m tools.lint src/repro` must exit 0."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "repro-lint" in proc.stdout

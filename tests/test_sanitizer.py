@@ -1,0 +1,213 @@
+"""Virtual-synchrony sanitizer: clean runs stay silent, injected
+violations raise with the right VS code."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.clocks.vector import VectorClock
+from repro.membership import CAUSAL, FIFO, TOTAL, GroupData, build_group
+from repro.membership.events import ViewEvent
+from repro.membership.view import GroupView
+from repro.metrics.sanitizer import (
+    VirtualSynchronySanitizer,
+    VirtualSynchronyViolation,
+    install_sanitizer,
+)
+from repro.net import FixedLatency
+from repro.proc import Environment
+
+from tests.test_hierarchy_integration import build_service, manager
+
+
+@dataclass
+class App:
+    category = "app"
+    tag: str = ""
+
+
+def make_group(n, seed=1):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", n)
+    return env, nodes, members
+
+
+# ------------------------------------------------------------- clean runs
+
+
+def test_clean_flat_run_passes_all_orderings():
+    env, nodes, members = make_group(4)
+    sanitizer = install_sanitizer(members)
+    for i in range(5):
+        members[i % 4].multicast(App(f"f{i}"), FIFO)
+        members[(i + 1) % 4].multicast(App(f"c{i}"), CAUSAL)
+        members[(i + 2) % 4].multicast(App(f"t{i}"), TOTAL)
+    env.run_for(2.0)
+    summary = sanitizer.check(at_quiescence=True)
+    assert summary["violations"] == 0
+    # 15 multicasts x 4 members, every one inspected.
+    assert summary["deliveries_checked"] >= 60
+
+
+def test_clean_run_across_view_change():
+    """Crash a member mid-traffic: the flush must keep survivors'
+    view-1 delivery sets identical (the virtual-synchrony guarantee)."""
+    env, nodes, members = make_group(5)
+    sanitizer = install_sanitizer(members)
+    for i, m in enumerate(members):
+        m.multicast(App(f"pre{i}"), CAUSAL)
+    nodes[2].crash()
+    env.run_for(3.0)
+    survivors = [m for m in members if m.me != nodes[2].address]
+    assert all(m.view.seq >= 2 for m in survivors)
+    for i, m in enumerate(survivors):
+        m.multicast(App(f"post{i}"), TOTAL)
+    env.run_for(2.0)
+    summary = sanitizer.check(at_quiescence=True)
+    assert summary["violations"] == 0
+    assert sanitizer.views_checked >= len(survivors)
+
+
+def test_clean_hierarchy_run_with_hooks_enabled():
+    """The paper's hierarchy scenario with sanitizer hooks on every leaf
+    member: steady-state traffic plus a leaf view change stays clean."""
+    env, params, leaders, members = build_service(9, fanout=3)
+    sanitizer = VirtualSynchronySanitizer()
+    placed = [m for m in members if m.leaf_member is not None]
+    assert placed, "no members were placed into leaves"
+    sanitizer.attach_all(m.leaf_member for m in placed)
+    # Leaf-local traffic through the hooked members.
+    for i, m in enumerate(placed):
+        if m.is_member:
+            m.leaf_member.multicast(App(f"leaf{i}"), CAUSAL)
+    env.run_for(2.0)
+    # Force a leaf view change under the hooks.
+    placed[-1].node.crash()
+    env.run_for(5.0)
+    for i, m in enumerate(placed[:-1]):
+        if m.is_member:
+            m.leaf_member.multicast(App(f"after{i}"), TOTAL)
+    env.run_for(2.0)
+    summary = sanitizer.check(at_quiescence=True)
+    assert summary["violations"] == 0
+    assert summary["deliveries_checked"] > 0
+    assert manager(leaders) is not None
+
+
+# ------------------------------------------------------- injected violations
+
+
+def _data(sender, seq, ordering=FIFO, view_seq=1, group="g", stamp=None):
+    return GroupData(
+        group=group,
+        view_seq=view_seq,
+        sender=sender,
+        sender_seq=seq,
+        ordering=ordering,
+        payload=App("x"),
+        stamp=stamp,
+    )
+
+
+def test_injected_out_of_order_delivery_in_live_group_raises():
+    """Forge deliveries through a real member's hooked delivery path:
+    sender seq 3 then seq 2 is a per-stream reordering and raises at the
+    second delivery."""
+    env, nodes, members = make_group(3)
+    install_sanitizer(members)
+    members[0].multicast(App("ok"), FIFO)
+    env.run_for(1.0)
+    members[1]._deliver(_data(members[0].me, 3))  # increasing: tolerated
+    with pytest.raises(VirtualSynchronyViolation) as excinfo:
+        members[1]._deliver(_data(members[0].me, 2))
+    assert excinfo.value.code == "VS002"
+
+
+def test_injected_gap_is_caught_when_the_run_drains():
+    """A hole in one sender's sequence (seq 3 delivered, seq 2 never) is
+    a VS002 gap at quiescence."""
+    env, nodes, members = make_group(3)
+    sanitizer = VirtualSynchronySanitizer(strict=False)
+    sanitizer.attach_all(members)
+    members[0].multicast(App("ok"), FIFO)
+    env.run_for(1.0)
+    members[1]._deliver(_data(members[0].me, 3))  # seq 2 never existed
+    with pytest.raises(VirtualSynchronyViolation):
+        sanitizer.check(at_quiescence=True)
+    assert any(v.code == "VS002" and "gap" in v.detail for v in sanitizer.violations)
+
+
+def test_injected_causal_violation_raises():
+    """A causal message whose stamp names an undelivered dependency must
+    trip the Birman–Schiper–Stephenson check."""
+    sanitizer = VirtualSynchronySanitizer()
+    view = GroupView("g", 1, ("a", "b", "c"))
+    for member in view.members:
+        sanitizer.observe_view(member, ViewEvent(view=view, joined=view.members, departed=()))
+    # b delivers a's message which claims a causal past {a:1, c:2} — but
+    # nothing from c was ever delivered at b.
+    stamp = VectorClock({"a": 1, "c": 2})
+    with pytest.raises(VirtualSynchronyViolation) as excinfo:
+        sanitizer.observe_delivery("b", _data("a", 1, ordering=CAUSAL, stamp=stamp))
+    assert excinfo.value.code == "VS003"
+
+
+def test_injected_divergent_view_raises():
+    """Two members installing different memberships for the same view
+    seq is the canonical view-agreement violation."""
+    sanitizer = VirtualSynchronySanitizer()
+    view_a = GroupView("g", 2, ("a", "b", "c"))
+    view_b = GroupView("g", 2, ("a", "b"))
+    sanitizer.observe_view("a", ViewEvent(view=view_a, joined=(), departed=()))
+    with pytest.raises(VirtualSynchronyViolation) as excinfo:
+        sanitizer.observe_view("b", ViewEvent(view=view_b, joined=(), departed=()))
+    assert excinfo.value.code == "VS001"
+
+
+def test_injected_delivery_set_divergence_raises():
+    """Survivors of a view change that delivered different view-1 sets
+    break virtual synchrony (VS004)."""
+    sanitizer = VirtualSynchronySanitizer(strict=False)
+    view1 = GroupView("g", 1, ("a", "b"))
+    for member in ("a", "b"):
+        sanitizer.observe_view(member, ViewEvent(view=view1, joined=view1.members, departed=()))
+    sanitizer.observe_delivery("a", _data("a", 1))
+    sanitizer.observe_delivery("b", _data("a", 1))
+    sanitizer.observe_delivery("a", _data("b", 1))  # b never sees this one
+    view2 = GroupView("g", 2, ("a", "b"))
+    for member in ("a", "b"):
+        sanitizer.observe_view(member, ViewEvent(view=view2, joined=(), departed=()))
+    assert any(v.code == "VS004" for v in sanitizer.violations)
+    with pytest.raises(VirtualSynchronyViolation):
+        sanitizer.check()
+
+
+def test_injected_duplicate_and_total_order_divergence():
+    sanitizer = VirtualSynchronySanitizer(strict=False)
+    view = GroupView("g", 1, ("a", "b"))
+    for member in ("a", "b"):
+        sanitizer.observe_view(member, ViewEvent(view=view, joined=view.members, departed=()))
+    sanitizer.observe_delivery("a", _data("a", 1))
+    sanitizer.observe_delivery("a", _data("a", 1))  # duplicate
+    assert any(v.code == "VS005" for v in sanitizer.violations)
+    # a delivers TOTAL messages x then y; b delivers y then x.
+    sanitizer.observe_delivery("a", _data("x", 1, ordering=TOTAL))
+    sanitizer.observe_delivery("a", _data("y", 1, ordering=TOTAL))
+    sanitizer.observe_delivery("b", _data("y", 1, ordering=TOTAL))
+    sanitizer.observe_delivery("b", _data("x", 1, ordering=TOTAL))
+    with pytest.raises(VirtualSynchronyViolation):
+        sanitizer.check()
+    assert any(v.code == "VS006" for v in sanitizer.violations)
+
+
+def test_detach_restores_delivery_path():
+    env, nodes, members = make_group(3)
+    sanitizer = install_sanitizer(members)
+    members[0].multicast(App("one"), FIFO)
+    env.run_for(1.0)
+    checked = sanitizer.deliveries_checked
+    assert checked >= 3
+    sanitizer.detach_all()
+    members[0].multicast(App("two"), FIFO)
+    env.run_for(1.0)
+    assert sanitizer.deliveries_checked == checked

@@ -1,0 +1,32 @@
+"""repro-lint: AST-based determinism & protocol-safety analysis.
+
+Usage::
+
+    PYTHONPATH=src python -m tools.lint src/repro
+
+See docs/devtools.md for the rule catalogue (RL001…RL007), the per-line
+suppression syntax and the baseline workflow.
+"""
+
+from tools.lint.engine import (
+    DEFAULT_BASELINE,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    new_findings,
+    run,
+)
+from tools.lint.rules import ALL_RULES, Finding, LintContext, RULES_BY_CODE
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintContext",
+    "RULES_BY_CODE",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "new_findings",
+    "run",
+]

@@ -1,0 +1,46 @@
+"""CLI: ``python -m tools.lint src/repro [--update-baseline]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.lint.engine import DEFAULT_BASELINE, run
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="AST-based determinism & protocol-safety lint for src/repro",
+    )
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="grandfathered-findings file (default: tools/lint/baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current tree and exit 0",
+    )
+    args = parser.parse_args(argv)
+    code, report = run(
+        args.roots or ["src/repro"],
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+    )
+    print(report)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

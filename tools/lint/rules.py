@@ -1,0 +1,418 @@
+"""repro-lint rule visitors.
+
+Each rule is a small :class:`ast.NodeVisitor` subclass with a stable code
+(``RL001``…), a one-line description and a fix-hint.  Rules are pure
+syntax: they flag *patterns* that are overwhelmingly bugs in a
+deterministic discrete-event simulation, and every flag can be silenced
+per line with ``# repro-lint: disable=RLxxx`` when a human has judged the
+use safe.
+
+The determinism contract the rules enforce (DESIGN.md, PR 1's frozen
+delivery digests):
+
+* simulated time is the only clock — wall-clock reads make runs
+  unreproducible (RL001);
+* all randomness flows from the seeded :class:`repro.sim.rand.SimRandom`
+  (RL002);
+* protocol decisions must not depend on Python's per-process set/dict
+  hash ordering (RL003) or on object identity (RL004);
+* mutable default arguments silently share state across calls (RL005);
+* float equality on simulated time misfires after arithmetic (RL006);
+* the event heap is owned by the scheduler alone (RL007).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Baseline bucket: findings are grandfathered per (path, code)."""
+        return (self.path, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class LintContext:
+    """Per-file facts the rules condition on."""
+
+    path: str  # repo-relative posix path
+    is_protocol: bool  # inside a protocol package (ordering-sensitive)
+    allow_random: bool  # sim/rand.py: the one home of stdlib random
+    allow_scheduler_internals: bool  # sim/scheduler.py itself
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: collects findings, knows its code and fix-hint."""
+
+    code = "RL000"
+    title = ""
+    hint = ""
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                code=self.code,
+                message=message,
+                hint=self.hint,
+            )
+        )
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    """``foo(...)`` -> "foo", anything else -> None."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+class WallClockRule(Rule):
+    """RL001: no wall-clock time sources anywhere in the simulation."""
+
+    code = "RL001"
+    title = "wall-clock time source in simulation code"
+    hint = (
+        "use the simulated clock (env.scheduler.now / self.process.now); "
+        "wall time makes runs unreproducible"
+    )
+
+    _TIME_ATTRS = {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "localtime",
+        "gmtime",
+        "clock_gettime",
+    }
+    _DATETIME_ATTRS = {"now", "today", "utcnow"}
+
+    def __init__(self, ctx: LintContext) -> None:
+        super().__init__(ctx)
+        self._time_aliases: Set[str] = set()
+        self._datetime_mods: Set[str] = set()  # aliases of the datetime module
+        self._datetime_classes: Set[str] = set()  # datetime / date class names
+        self._banned_names: Dict[str, str] = {}  # from-imported functions
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self._time_aliases.add(local)
+                self.flag(node, "import of wall-clock module 'time'")
+            elif alias.name.split(".")[0] == "datetime":
+                self._datetime_mods.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in self._TIME_ATTRS:
+                    local = alias.asname or alias.name
+                    self._banned_names[local] = f"time.{alias.name}"
+                    self.flag(node, f"import of wall-clock time.{alias.name}")
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self._datetime_classes.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._banned_names:
+            self.flag(node, f"call of wall-clock {self._banned_names[func.id]}()")
+        elif isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in self._time_aliases
+                and func.attr in self._TIME_ATTRS
+            ):
+                self.flag(node, f"call of wall-clock time.{func.attr}()")
+            elif func.attr in self._DATETIME_ATTRS:
+                # datetime.now() / date.today() / datetime.datetime.now()
+                if isinstance(value, ast.Name) and value.id in self._datetime_classes:
+                    self.flag(node, f"call of wall-clock {value.id}.{func.attr}()")
+                elif (
+                    isinstance(value, ast.Attribute)
+                    and value.attr in ("datetime", "date")
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in self._datetime_mods
+                ):
+                    self.flag(
+                        node,
+                        f"call of wall-clock datetime.{value.attr}.{func.attr}()",
+                    )
+        self.generic_visit(node)
+
+
+class StdlibRandomRule(Rule):
+    """RL002: stdlib random is only allowed inside sim/rand.py."""
+
+    code = "RL002"
+    title = "stdlib random outside sim/rand.py"
+    hint = (
+        "draw from the environment's seeded SimRandom (env.rng or a "
+        ".fork() of it) so runs replay from the seed alone"
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.ctx.allow_random:
+            return
+        for alias in node.names:
+            if alias.name.split(".")[0] in ("random", "secrets"):
+                self.flag(node, f"import of nondeterministic '{alias.name}'")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.ctx.allow_random:
+            return
+        if node.module and node.module.split(".")[0] in ("random", "secrets"):
+            self.flag(node, f"import from nondeterministic '{node.module}'")
+        self.generic_visit(node)
+
+
+class UnorderedIterationRule(Rule):
+    """RL003: protocol code must not iterate raw set/frozenset/dict-view
+    expressions — iteration order depends on the per-process hash seed."""
+
+    code = "RL003"
+    title = "iteration over unordered set expression in protocol code"
+    hint = "wrap the expression in sorted(...) to fix the iteration order"
+
+    _SET_OPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+    _SET_METHODS = {
+        "difference",
+        "union",
+        "intersection",
+        "symmetric_difference",
+    }
+    # Iterating these consumers of a set expression is order-sensitive.
+    _ORDERED_CONSUMERS = {"list", "tuple", "enumerate", "iter", "next"}
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if _call_name(node) in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._SET_METHODS
+        ):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_OPS):
+            return (
+                self._is_set_expr(node.left)
+                or self._is_set_expr(node.right)
+                or self._is_dict_view(node.left)
+                or self._is_dict_view(node.right)
+            )
+        return False
+
+    @staticmethod
+    def _is_dict_view(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("keys", "items")
+            and not node.args
+        )
+
+    def _check_iterable(self, iterable: ast.AST) -> None:
+        if not self.ctx.is_protocol:
+            return
+        if self._is_set_expr(iterable):
+            self.flag(iterable, "iteration order depends on the set hash seed")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iterable(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name in self._ORDERED_CONSUMERS and node.args:
+            self._check_iterable(node.args[0])
+        self.generic_visit(node)
+
+
+class IdentityKeyRule(Rule):
+    """RL004: id()/object-hash() must not key or order protocol state."""
+
+    code = "RL004"
+    title = "object identity used as protocol key or ordering"
+    hint = (
+        "key by a stable identifier (address, name, message id) — id() "
+        "values are reused after GC and differ across runs"
+    )
+
+    _MAP_METHODS = {"get", "setdefault", "pop", "__contains__", "__getitem__"}
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _call_name(node) == "id" and len(node.args) == 1:
+            self.flag(node, "id() of an object used in protocol state")
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        sl = node.slice
+        # py39: plain expressions appear directly as the slice node.
+        if isinstance(sl, ast.Index):  # pragma: no cover - py38 compat
+            sl = sl.value  # type: ignore[attr-defined]
+        if _call_name(sl) == "hash":
+            self.flag(node, "hash() of an object used as a subscript key")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)) for op in node.ops):
+            for operand in [node.left, *node.comparators]:
+                if _call_name(operand) == "hash":
+                    self.flag(node, "hash() of an object used as an ordering")
+        self.generic_visit(node)
+
+
+class MutableDefaultRule(Rule):
+    """RL005: no mutable default arguments."""
+
+    code = "RL005"
+    title = "mutable default argument"
+    hint = "default to None and create the container inside the function"
+
+    _MUTABLE_CALLS = {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "OrderedDict",
+    }
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return _call_name(node) in self._MUTABLE_CALLS
+
+    def _check_args(self, node) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and self._is_mutable(default):
+                self.flag(default, f"mutable default in {node.name}()")
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check_args
+    visit_AsyncFunctionDef = _check_args
+
+
+class FloatTimeEqualityRule(Rule):
+    """RL006: no float == / != on simulated-time expressions."""
+
+    code = "RL006"
+    title = "float equality on simulated time"
+    hint = (
+        "compare times with <= / >= or an epsilon — float arithmetic on "
+        "deadlines makes exact equality seed-dependent"
+    )
+
+    _TIME_NAMES = {"now", "_now", "sim_now", "deadline", "sim_time"}
+
+    def _is_time_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr in self._TIME_NAMES:
+            return True
+        if isinstance(node, ast.Name) and node.id in self._TIME_NAMES:
+            return True
+        if isinstance(node, ast.Call):
+            return self._is_time_expr(node.func)
+        return False
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            if any(self._is_time_expr(o) for o in operands) and not any(
+                isinstance(o, ast.Constant) and o.value is None for o in operands
+            ):
+                self.flag(node, "== / != on a simulated-time value")
+        self.generic_visit(node)
+
+
+class SchedulerInternalsRule(Rule):
+    """RL007: the event heap belongs to sim/scheduler.py alone."""
+
+    code = "RL007"
+    title = "scheduler/heap internals accessed outside sim/scheduler.py"
+    hint = (
+        "go through the Scheduler API (at/after_call/rearm/run_until) — "
+        "direct heap surgery breaks the lazy-cancel invariants"
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.ctx.allow_scheduler_internals:
+            return
+        for alias in node.names:
+            if alias.name == "heapq":
+                self.flag(node, "import of heapq outside the scheduler")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self.ctx.allow_scheduler_internals and node.module == "heapq":
+            self.flag(node, "import from heapq outside the scheduler")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self.ctx.allow_scheduler_internals and node.attr.startswith("_"):
+            value = node.value
+            is_scheduler = (
+                isinstance(value, ast.Name) and "scheduler" in value.id.lower()
+            ) or (isinstance(value, ast.Attribute) and value.attr == "scheduler")
+            if is_scheduler:
+                self.flag(node, f"private scheduler attribute .{node.attr}")
+        self.generic_visit(node)
+
+
+ALL_RULES = (
+    WallClockRule,
+    StdlibRandomRule,
+    UnorderedIterationRule,
+    IdentityKeyRule,
+    MutableDefaultRule,
+    FloatTimeEqualityRule,
+    SchedulerInternalsRule,
+)
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -336,7 +336,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--scenario", action="append", help="run only the named scenario(s)"
     )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run repro-lint on src/repro first; refuse to benchmark a "
+        "tree with determinism regressions",
+    )
     args = parser.parse_args(argv)
+
+    if args.lint:
+        # Benchmark numbers (and their behaviour fingerprints) are only
+        # comparable across runs when the tree passes the determinism
+        # lint — a wall-clock read or hash-ordered loop would make the
+        # fingerprints themselves flaky.
+        from tools.lint import run as lint_run
+
+        lint_code, lint_report = lint_run(["src/repro"])
+        if lint_code != 0:
+            print(lint_report)
+            print("perf_report: refusing to benchmark a nondeterministic tree")
+            return 2
+        print("perf_report: repro-lint preflight ok")
 
     if argv is None:
         pin_hash_seed()
