@@ -1,13 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline sanitize bench bench-report bench-quick perf-smoke clean
+.PHONY: test lint lint-baseline sanitize trace bench bench-report bench-quick perf-smoke clean
 
 ## Tier-1: unit + integration tests (includes the quick perf smoke).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Static determinism & protocol-safety analysis (tools/lint, RL001…RL007).
+## Static determinism & protocol-safety analysis (tools/lint, RL001…RL008).
 lint:
 	$(PYTHON) -m tools.lint src/repro
 
@@ -18,6 +18,12 @@ lint-baseline:
 ## Runtime virtual-synchrony sanitizer suite (VS001…VS006 hooks).
 sanitize:
 	$(PYTHON) -m pytest tests/test_sanitizer.py -q
+
+## Causal-trace demo: one request + one treecast through a hierarchical
+## service, audited against E1 (2n messages) and E8 (log-depth stages);
+## writes a Chrome trace-event JSON (chrome://tracing / perfetto).
+trace:
+	$(PYTHON) -m tools.trace_report --out trace_demo.json
 
 ## Paper experiments + event-core perf scenarios under pytest-benchmark.
 bench:

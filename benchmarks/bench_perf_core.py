@@ -16,6 +16,7 @@ Marked ``perf`` so the default test run can exclude them:
 ``pytest benchmarks -m "not perf"`` skips this file.
 """
 
+import json
 import sys
 from pathlib import Path
 
@@ -27,10 +28,13 @@ from tools.perf_report import (
     scenario_churn,
     scenario_flat_steady,
     scenario_hier_steady,
+    scenario_hier_steady_traced,
     scenario_scheduler_micro,
 )
 
 pytestmark = pytest.mark.perf
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_core.json"
 
 
 def _report(result):
@@ -73,3 +77,68 @@ def test_perf_churn(benchmark):
     """Crash/recover cycling: exercises cancellation and heap compaction."""
     result = benchmark.pedantic(scenario_churn, args=(3.0,), rounds=3, iterations=1)
     _report(result)
+
+
+def _recorded_hier_events_per_sec():
+    """The hier steady-state events/sec recorded in BENCH_core.json (the
+    pre-tracing optimized number), or None when absent/foreign."""
+    if not BENCH_JSON.exists():
+        return None
+    try:
+        report = json.loads(BENCH_JSON.read_text())
+        return report["runs"]["optimized"]["scenarios"]["hier_steady_n64"][
+            "events_per_sec"
+        ]
+    except (KeyError, ValueError):
+        return None
+
+
+def test_perf_tracing_disabled_overhead_guard(benchmark):
+    """The disabled-path cost of the trace hooks — one attribute load
+    plus a None check per event — must stay within 2% of the steady-state
+    throughput recorded in BENCH_core.json before tracing existed.
+
+    Only meaningful on the machine that produced BENCH_core.json (the
+    recorded number is wall-clock); skipped when the report is absent.
+    """
+    recorded = _recorded_hier_events_per_sec()
+    results = []
+
+    def run():
+        result = scenario_hier_steady(64, 6.0)  # the recorded parameters
+        results.append(result)
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    _report(result)
+    if recorded is None:
+        pytest.skip("no BENCH_core.json hier_steady_n64 number to guard against")
+    # Best-of-rounds against the recorded number: transient machine load
+    # only ever slows a round down, so the max is the honest estimate.
+    best = max(r["events_per_sec"] for r in results)
+    ratio = best / recorded
+    print(f"  tracing-off vs recorded baseline: {ratio:.3f}x")
+    assert ratio >= 0.98, (
+        f"tracing-off throughput {best:,} ev/s fell more than 2% below "
+        f"the recorded {recorded:,} ev/s — the guarded hooks are no "
+        f"longer free when disabled"
+    )
+
+
+def test_perf_tracing_enabled_cost(benchmark):
+    """Measure (don't gate) what tracing *on* costs: the traced scenario
+    must stay behaviour-identical and within a sane constant factor of
+    the untraced run; the exact ratio is recorded in the bench report by
+    tools/perf_report.py (scenario hier_steady_n64_traced)."""
+    off = scenario_hier_steady(64, 1.5, settle=4.0)
+    on = benchmark.pedantic(
+        scenario_hier_steady_traced, args=(64, 1.5), kwargs={"settle": 4.0},
+        rounds=3, iterations=1,
+    )
+    _report(on)
+    assert on["fingerprint"] == off["fingerprint"]  # observation-only
+    assert on["trace_spans_recorded"] > 0
+    slowdown = off["events_per_sec"] / on["events_per_sec"]
+    print(f"  tracing-on slowdown: {slowdown:.2f}x "
+          f"({on['trace_spans_recorded']:,} spans recorded)")
+    assert slowdown < 5.0, f"tracing-on cost exploded: {slowdown:.2f}x"

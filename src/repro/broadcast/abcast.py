@@ -54,6 +54,13 @@ class TotalEngine(OrderingEngine):
             view_seq=self.view.seq,
             orders=[(self._next_assign, data.message_id)],
         )
+        trace = self._trace()
+        if trace is not None:
+            trace.local(
+                "order-assign", category="ordering", process=self.me,
+                group=self.view.group, global_seq=self._next_assign,
+                sender=data.sender, sender_seq=data.sender_seq,
+            )
         self._history[self._next_assign] = data.message_id
         self._next_assign += 1
         return order
@@ -66,7 +73,15 @@ class TotalEngine(OrderingEngine):
     def on_receive(self, data: GroupData) -> List[GroupData]:
         if data.message_id not in self._delivered_ids:
             self._pending.setdefault(data.message_id, data)
-        return self._drain()
+        ready = self._drain()
+        trace = self._trace()
+        if trace is not None and data not in ready and data.message_id in self._pending:
+            trace.local(
+                "total-hold", category="ordering", process=self.me,
+                group=self.view.group, sender=data.sender,
+                sender_seq=data.sender_seq,
+            )
+        return ready
 
     def on_set_order(self, set_order: SetOrder) -> List[GroupData]:
         for global_seq, message_id in set_order.orders:

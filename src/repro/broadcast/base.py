@@ -22,6 +22,15 @@ class OrderingEngine(ABC):
     def __init__(self, view: GroupView, me: Address) -> None:
         self.view = view
         self.me = me
+        # Set by the owning GroupMember at view install; engines read
+        # ``network.trace`` per event so a mid-run trace attach takes
+        # effect immediately (None when tracing is off).
+        self.network = None
+
+    def _trace(self):
+        """The guarded trace sink, or None (tracing off / not wired)."""
+        network = self.network
+        return network.trace if network is not None else None
 
     @abstractmethod
     def stamp_outgoing(self, data: GroupData) -> None:

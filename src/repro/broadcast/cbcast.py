@@ -43,7 +43,21 @@ class CausalEngine(OrderingEngine):
             return []  # already delivered locally at send time
         if data.stamp is None:
             raise ValueError("causal multicast arrived without a stamp")
-        return self._buffer.add(data.sender, data.stamp, data)
+        released = self._buffer.add(data.sender, data.stamp, data)
+        trace = self._trace()
+        if trace is not None:
+            if not released:
+                trace.local(
+                    "causal-hold", category="ordering", process=self.me,
+                    group=self.view.group, sender=data.sender,
+                    sender_seq=data.sender_seq,
+                )
+            elif len(released) > 1 or released[0] is not data:
+                trace.local(
+                    "causal-release", category="ordering", process=self.me,
+                    group=self.view.group, released=len(released),
+                )
+        return released
 
     def held(self) -> List[GroupData]:
         return list(self._buffer.held_payloads())

@@ -14,7 +14,11 @@ from repro.membership.events import GroupData
 
 
 class FifoEngine(OrderingEngine):
-    """Deliver on receipt; FIFO is guaranteed by the channel below."""
+    """Deliver on receipt; FIFO is guaranteed by the channel below.
+
+    No trace hook here: fbcast never buffers, so the network-level
+    send/deliver spans already describe its causal graph completely.
+    """
 
     def stamp_outgoing(self, data: GroupData) -> None:
         pass  # sender_seq set by the membership layer is all FIFO needs

@@ -200,6 +200,16 @@ class LeaderReplica:
             self._rewatch_coordinators()
             self._check_thresholds()
 
+    def _trace_event(self, name: str, **attrs) -> None:
+        """Record a manager decision as a local trace span (no-op when
+        tracing is off; the guarded hook contract of repro.trace.api)."""
+        trace = self.node.env.network.trace
+        if trace is not None:
+            trace.local(
+                name, category="hierarchy", process=self.node.address,
+                service=self.service, **attrs,
+            )
+
     # ---------------------------------------------------------------- join path
 
     def _serve_join(self, body: JoinLarge, sender: Address):
@@ -212,6 +222,7 @@ class LeaderReplica:
             self._inflight[leaf_id] = 1
             self._propose(AddLeaf(leaf_id=leaf_id, size=0, contacts=()))
             self.events.append(("leaf-created", leaf_id))
+            self._trace_event("leaf-created", leaf_id=leaf_id)
             return ("create", leaf_id, leaf_group_name(self.service, leaf_id))
         leaf_id, contacts = target
         self._inflight[leaf_id] = self._inflight.get(leaf_id, 0) + 1
@@ -321,6 +332,9 @@ class LeaderReplica:
             new_leaf_id = self._new_leaf_id()
             self._creating[new_leaf_id] = leaf.contacts[0]
             self.events.append(("split-directed", leaf.leaf_id, new_leaf_id))
+            self._trace_event(
+                "split-directed", leaf_id=leaf.leaf_id, new_leaf_id=new_leaf_id
+            )
             self._send_directive(
                 leaf.contacts,
                 SplitDirective(
@@ -338,6 +352,9 @@ class LeaderReplica:
                 continue
             self._directed.add(leaf.leaf_id)
             self.events.append(("merge-directed", leaf.leaf_id, target.leaf_id))
+            self._trace_event(
+                "merge-directed", leaf_id=leaf.leaf_id, target=target.leaf_id
+            )
             self._send_directive(
                 leaf.contacts,
                 MergeDirective(
@@ -403,6 +420,7 @@ class LeaderReplica:
             if index >= len(remaining):
                 # Total failure of the leaf subgroup.
                 self.events.append(("leaf-lost", leaf_id))
+                self._trace_event("leaf-lost", leaf_id=leaf_id)
                 self._propose(RemoveLeaf(leaf_id=leaf_id))
                 return
             self.node.runtime.rpc.call(

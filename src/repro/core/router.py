@@ -105,6 +105,13 @@ class ServiceRouter:
                 self._ask_leader(new_contacts, next_index, on_ready)
             elif value[0] == "leaf":
                 self._assignment = (value[1], tuple(value[2]))
+                trace = self._process.env.network.trace
+                if trace is not None:
+                    trace.local(
+                        "leaf-assigned", category="routing",
+                        process=self._process.address,
+                        service=self.service, leaf_group=value[1],
+                    )
                 on_ready(self._assignment)
             else:
                 self._ask_leader(contacts, index + 1, on_ready)

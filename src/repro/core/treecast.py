@@ -202,6 +202,13 @@ class TreecastParticipant:
     def _on_relay(self, msg: TreeCastRelay, sender: Address) -> None:
         spec = msg.spec
         expected = len(spec.leaf_targets) + len(spec.children)
+        trace = self.node.env.network.trace
+        if trace is not None:
+            trace.local(
+                "relay-fanout", category="treecast",
+                process=self.node.address, broadcast_id=msg.broadcast_id,
+                leaves=len(spec.leaf_targets), relays=len(spec.children),
+            )
         self._relay_children[msg.broadcast_id] = (
             spec,
             spec.leaf_targets,
@@ -308,6 +315,13 @@ class TreecastParticipant:
         needed, parent = self._acks_needed[bid]
         if len(got) >= needed:
             del self._acks_needed[bid]
+            trace = self.node.env.network.trace
+            if trace is not None:
+                trace.local(
+                    "leaf-acked", category="treecast",
+                    process=self.node.address, broadcast_id=bid,
+                    acks=len(got),
+                )
             self.node.send(parent, TreeAck(broadcast_id=bid))
 
     def _deliver(self, bid: str, payload: Any) -> None:
@@ -346,6 +360,13 @@ class TreecastRoot:
             return None
         bid = f"bc-{self.node.address}-{next(self._ids)}"
         expected = len(spec.leaf_targets) + len(spec.children)
+        trace = self.node.env.network.trace
+        if trace is not None:
+            trace.local(
+                "treecast-start", category="treecast",
+                process=self.node.address, broadcast_id=bid,
+                stages=spec.stage_count() + 1, atomic=atomic,
+            )
         self._pending[bid] = {
             "id": bid,
             "atomic": atomic,
@@ -406,6 +427,13 @@ class TreecastRoot:
         info = self._pending.pop(bid)
         info["timed_out"] = timed_out
         info["elapsed"] = self.node.env.now - info["started_at"]
+        trace = self.node.env.network.trace
+        if trace is not None:
+            trace.local(
+                "treecast-complete", category="treecast",
+                process=self.node.address, broadcast_id=bid,
+                stages=info["stages"], timed_out=timed_out,
+            )
         if info["atomic"] and not timed_out:
             spec: RelaySpec = info["spec"]
             for target in spec.leaf_targets:

@@ -140,6 +140,13 @@ class HeartbeatDetector(FailureDetector):
             process.send(address, _HEARTBEAT)
             if now - last_heard[address] >= self._suspect_after:
                 suspected.add(address)
+                trace = process.env.network.trace
+                if trace is not None:
+                    trace.local(
+                        "suspicion", category="failure",
+                        process=process.address, peer=address,
+                        silent_for=now - last_heard[address],
+                    )
                 for listener in list(self._listeners):
                     listener(address)
 
@@ -198,6 +205,12 @@ class OracleDetector(FailureDetector):
             if not self._env.has_process(owner) or not self._env.process(owner).alive:
                 return
             if address in self._watched:
+                trace = self._env.network.trace
+                if trace is not None:
+                    trace.local(
+                        "suspicion", category="failure",
+                        process=owner, peer=address,
+                    )
                 for listener in list(self._listeners):
                     listener(address)
 

@@ -16,6 +16,10 @@ The merge produces: the union of unstable messages (so every survivor can
 deliver the same old-view message set — virtual synchrony) and the final
 total-order assignments (see :func:`repro.broadcast.abcast.
 merge_flush_orders`).
+
+This module is pure protocol state; the causal tracer's flush-start /
+flush-timeout / view-install spans are emitted by the driving
+``GroupMember`` in ``membership/group.py`` (see docs/tracing.md).
 """
 
 from __future__ import annotations

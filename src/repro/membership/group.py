@@ -351,6 +351,12 @@ class GroupMember:
         if address == self.me or address in self._suspects:
             return
         self._suspects.add(address)
+        trace = self.runtime.process.env.network.trace
+        if trace is not None:
+            trace.local(
+                "suspect", category="membership", process=self.me,
+                group=self.group, suspect=address,
+            )
         if self._flush is not None:
             # Mid-flush failure: drop it from the proposal and re-flush.
             if self._flush.drop_member(address):
@@ -422,6 +428,13 @@ class GroupMember:
             joiners=adds,
         )
         self._flush.started_at = self.runtime.process.env.now
+        trace = self.runtime.process.env.network.trace
+        if trace is not None:
+            trace.local(
+                "flush-start", category="membership", process=self.me,
+                group=self.group, target_seq=self._flush.target_seq,
+                proposed=len(proposed),
+            )
         self._broadcast_flush()
         self._arm_flush_timer()
         self._check_flush_complete()
@@ -468,6 +481,12 @@ class GroupMember:
         missing = list(self._flush.missing())
         if not missing:
             return
+        trace = self.runtime.process.env.network.trace
+        if trace is not None:
+            trace.local(
+                "flush-timeout", category="membership", process=self.me,
+                group=self.group, missing=len(missing),
+            )
         # Unresponsive members are treated as failed (fail-stop conversion).
         for address in missing:
             self._suspects.add(address)
@@ -606,6 +625,12 @@ class GroupMember:
     def _install(self, message: NewView, deliver_flushed: bool) -> None:
         old_view = self.view
         new_view = message.view
+        trace = self.runtime.process.env.network.trace
+        if trace is not None:
+            trace.local(
+                "view-install", category="membership", process=self.me,
+                group=self.group, seq=new_view.seq, size=new_view.size,
+            )
         self.view = new_view
         self.view_changes += 1
         self._sender_seq = 0
@@ -617,6 +642,8 @@ class GroupMember:
             CAUSAL: CausalEngine(new_view, self.me),
             TOTAL: TotalEngine(new_view, self.me, message.next_global_seq),
         }
+        for engine in self._engines.values():
+            engine.network = self.runtime.process.env.network
         self._stability = StabilityTracker(self.me, new_view.members)
         self._blocked = False
         self._flush = None

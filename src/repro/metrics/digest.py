@@ -16,6 +16,11 @@ Usage::
 The digest is deliberately *order-sensitive*: swapping two deliveries at
 the same timestamp changes it, so it also guards the scheduler's FIFO
 tie-breaking.
+
+The folded tuple deliberately excludes everything else on the envelope —
+in particular the causal-trace context (``envelope.trace``) attached by
+:mod:`repro.trace` — so a traced run produces the byte-identical digest
+as an untraced one (regression-tested in tests/test_trace_determinism.py).
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ class DeliveryDigest:
     def _on_event(self, kind: str, envelope) -> None:
         if kind != "deliver":
             return
+        # Only the behavioural fields are folded; observation-side state
+        # (envelope.trace) must never reach the fingerprint.
         self.update(
             envelope.deliver_time, envelope.src, envelope.dst, envelope.category
         )

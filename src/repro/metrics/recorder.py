@@ -35,6 +35,16 @@ class TimeSeriesRecorder:
         self._probes[name] = fn
         self._series[name] = []
 
+    def probe_trace(self, collector: Any, prefix: str = "trace") -> None:
+        """Sample a :class:`repro.trace.TraceCollector`'s span counts.
+
+        Pure observation: reading the collector never feeds back into
+        simulation behaviour, so a recording traced run keeps the same
+        delivery fingerprint as an unrecorded one.
+        """
+        self.probe(f"{prefix}.recorded", lambda: float(collector.recorded))
+        self.probe(f"{prefix}.retained", lambda: float(len(collector)))
+
     def start(self) -> None:
         if self._running:
             return

@@ -72,6 +72,11 @@ class Violation:
     group: str
     member: Address
     detail: str
+    # Causal-trace context of the offending event when the run is traced
+    # (repro.trace): the delivery/span in whose scope the violation was
+    # detected, so ``check()`` output points at the causal history.
+    trace_id: Optional[int] = None
+    span_id: Optional[int] = None
 
 
 @dataclass
@@ -107,6 +112,9 @@ class VirtualSynchronySanitizer:
         self._observed: Dict[Address, Dict[str, Set[int]]] = {}
         self._attached: List[Any] = []
         self._originals: List[Tuple[Any, Any]] = []
+        # The network of the first attached member, for reading the trace
+        # sink (None until attach, or when members carry no runtime).
+        self._network: Optional[Any] = None
 
     # ------------------------------------------------------------ attachment
 
@@ -115,6 +123,10 @@ class VirtualSynchronySanitizer:
         if any(m is member for m in self._attached):
             return
         self._attached.append(member)
+        if self._network is None:
+            runtime = getattr(member, "runtime", None)
+            if runtime is not None:
+                self._network = runtime.process.env.network
         original = member._deliver
         self._originals.append((member, original))
 
@@ -165,10 +177,19 @@ class VirtualSynchronySanitizer:
     # ------------------------------------------------------------- recording
 
     def _report(self, code: str, group: str, member: Address, detail: str) -> None:
-        self.violations.append(Violation(code, group, member, detail))
+        trace_id = span_id = None
+        network = self._network
+        if network is not None and network.trace is not None:
+            ids = network.trace.context_ids()
+            if ids is not None:
+                trace_id, span_id = ids
+        self.violations.append(
+            Violation(code, group, member, detail, trace_id, span_id)
+        )
         if self.strict:
+            where = f" (trace {trace_id} span {span_id})" if trace_id else ""
             raise VirtualSynchronyViolation(
-                code, f"group={group} member={member}: {detail}"
+                code, f"group={group} member={member}: {detail}{where}"
             )
 
     def observe_delivery(self, member: Address, data: Any) -> None:

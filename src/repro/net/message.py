@@ -96,7 +96,15 @@ class Envelope:
     allocated object in any run, one per datagram.
     """
 
-    __slots__ = ("src", "dst", "payload", "send_time", "deliver_time", "size_bytes")
+    __slots__ = (
+        "src",
+        "dst",
+        "payload",
+        "send_time",
+        "deliver_time",
+        "size_bytes",
+        "trace",
+    )
 
     def __init__(
         self,
@@ -113,6 +121,10 @@ class Envelope:
         self.send_time = send_time
         self.deliver_time = deliver_time
         self.size_bytes = size_bytes
+        # Causal-trace context piggybacked on the datagram: the send span
+        # recorded by repro.trace when tracing is on, else None.  The
+        # network fills it in; protocol code never touches it.
+        self.trace = None
 
     @property
     def category(self) -> str:

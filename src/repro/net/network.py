@@ -63,6 +63,11 @@ class Network:
         self.partitions = PartitionManager()
         self.stats = NetworkStats()
         self._taps: list = []
+        # Causal tracing sink (repro.trace.api.TraceSink) or None when
+        # tracing is off.  Installed by repro.trace.api.attach(); every
+        # hook below is guarded by one attribute load + None check, which
+        # is the entire disabled-path cost.
+        self.trace = None
 
     # -- observation -----------------------------------------------------------
 
@@ -140,6 +145,9 @@ class Network:
         envelope = Envelope(src, dst, payload, now, 0.0, size)
         if self._taps:
             self._tap("send", envelope)
+        trace = self.trace
+        if trace is not None:
+            trace.on_send(envelope, category)
         if not self.partitions.reachable(src, dst):
             self._drop(envelope)
             return
@@ -155,23 +163,34 @@ class Network:
             # two copies are independently in flight).
             delay = self._latency.sample(rng, src, dst, total)
             duplicate = Envelope(src, dst, payload, now, now + delay, size)
+            # Both copies stem from the same logical send span.
+            duplicate.trace = envelope.trace
             scheduler.at_call(duplicate.deliver_time, self._deliver, duplicate)
 
     def _drop(self, envelope: Envelope) -> None:
         self.stats.record_drop()
         if self._taps:
             self._tap("drop", envelope)
+        trace = self.trace
+        if trace is not None:
+            trace.on_drop(envelope)
 
     def _deliver(self, envelope: Envelope) -> None:
         deliver = self._endpoints.get(envelope.dst)
         if deliver is None:
             # Destination crashed or never existed; the datagram vanishes,
             # exactly as on a real LAN.
-            self.stats.record_drop()
-            if self._taps:
-                self._tap("drop", envelope)
+            self._drop(envelope)
             return
         self.stats.record_delivery(envelope.dst)
         if self._taps:
             self._tap("deliver", envelope)
-        deliver(envelope)
+        trace = self.trace
+        if trace is None:
+            deliver(envelope)
+            return
+        token = trace.on_deliver_begin(envelope)
+        try:
+            deliver(envelope)
+        finally:
+            trace.on_deliver_end(token)

@@ -184,6 +184,12 @@ class CoordinatorCohortServer:
         self.requests_executed += 1
         self._results[request_id] = result
         process = self.member.runtime.process
+        trace = process.env.network.trace
+        if trace is not None:
+            trace.local(
+                "cc-execute", category="toolkit", process=self.member.me,
+                group=self.member.group, request_id=request_id,
+            )
         process.send(client, CCReply(request_id=request_id, result=result))
         cohorts = self._cohorts()
         if cohorts:
@@ -209,6 +215,12 @@ class CoordinatorCohortServer:
             return
         for request_id in sorted(self._pending):
             self.takeovers += 1
+            trace = self.member.runtime.process.env.network.trace
+            if trace is not None:
+                trace.local(
+                    "cc-takeover", category="toolkit", process=self.member.me,
+                    group=self.member.group, request_id=request_id,
+                )
             self._execute(request_id)
 
 

@@ -1,0 +1,140 @@
+"""Trace exporters: Chrome trace-event JSON and a text tree view.
+
+The Chrome format (one ``{"traceEvents": [...]}`` object; open it in
+``chrome://tracing`` or https://ui.perfetto.dev) maps cleanly onto the
+span model: each span with a duration becomes a complete (``"X"``)
+event, instantaneous spans (drops, local annotations) become instant
+(``"i"``) events.  Simulated seconds are exported as microseconds, the
+unit the viewers expect.  Processes map to trace-viewer *threads* inside
+one *process* per trace, so one request's causal fan-out reads as a
+swim-lane diagram.
+
+Everything here is a pure function of the span store: exporting twice,
+or on a replayed same-seed run, yields byte-identical output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.trace.collector import TraceCollector
+from repro.trace.span import KIND_DELIVER, KIND_DROP, KIND_SEND, Span
+
+_US = 1_000_000  # simulated seconds -> exported microseconds
+
+
+def to_chrome_trace(
+    spans: Iterable[Span],
+    clock_end: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Render spans as a Chrome trace-event JSON object.
+
+    ``clock_end`` closes still-open spans (datagrams in flight when the
+    run stopped) at the given simulated time; without it they are
+    exported as instants at their begin time.
+    """
+    span_list = list(spans)
+    # Stable thread ids: processes sorted by name, one lane each.
+    processes = sorted({s.process for s in span_list if s.process is not None})
+    tids = {name: i + 1 for i, name in enumerate(processes)}
+    events: List[Dict[str, Any]] = []
+    for trace_id in sorted({s.trace_id for s in span_list}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": trace_id,
+                "tid": 0,
+                "args": {"name": f"trace {trace_id}"},
+            }
+        )
+    for name, tid in tids.items():
+        for trace_id in sorted({s.trace_id for s in span_list if s.process == name}):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": trace_id,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+    for s in span_list:
+        tid = tids.get(s.process, 0)
+        args: Dict[str, Any] = {
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+            "kind": s.kind,
+        }
+        if s.kind in (KIND_SEND, KIND_DELIVER, KIND_DROP):
+            args["src"] = s.src
+            args["dst"] = s.dst
+        if s.attrs:
+            for key in sorted(s.attrs):
+                args[key] = s.attrs[key]
+        end = s.end
+        if end is None and clock_end is not None:
+            end = max(clock_end, s.begin)
+        base = {
+            "name": s.name,
+            "cat": s.category,
+            "pid": s.trace_id,
+            "tid": tid,
+            "ts": round(s.begin * _US, 3),
+            "args": args,
+        }
+        if end is None or end <= s.begin:
+            base["ph"] = "i"
+            base["s"] = "t"
+        else:
+            base["ph"] = "X"
+            base["dur"] = round((end - s.begin) * _US, 3)
+        events.append(base)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_tree(
+    collector: TraceCollector,
+    trace_id: int,
+    max_spans: Optional[int] = None,
+) -> str:
+    """ASCII tree of one trace: indentation is causal depth.
+
+    The top-down sibling order is event order (span id), so the tree is
+    deterministic and reads like a timeline.  ``max_spans`` truncates
+    huge traces with a trailing elision note.
+    """
+    spans = collector.trace(trace_id)
+    if not spans:
+        return f"trace {trace_id}: no spans"
+    retained = {s.span_id for s in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for s in spans:
+        parent = s.parent_id if s.parent_id in retained else None
+        children.setdefault(parent, []).append(s)
+    base = min(s.begin for s in spans)
+    lines = [f"trace {trace_id} ({len(spans)} spans)"]
+    emitted = 0
+    truncated = False
+
+    def emit(span: Span, depth: int) -> None:
+        nonlocal emitted, truncated
+        if max_spans is not None and emitted >= max_spans:
+            truncated = True
+            return
+        emitted += 1
+        route = ""
+        if span.kind in (KIND_SEND, KIND_DELIVER, KIND_DROP):
+            route = f" {span.src}->{span.dst}"
+        lines.append(
+            f"{'  ' * depth}+{span.begin - base:.6f}s "
+            f"[{span.kind}] {span.name}{route} ({span.duration:.6f}s)"
+        )
+        for child in children.get(span.span_id, ()):
+            emit(child, depth + 1)
+
+    for root in children.get(None, ()):
+        emit(root, 0)
+    if truncated:
+        lines.append(f"... ({len(spans) - emitted} more spans elided)")
+    return "\n".join(lines)

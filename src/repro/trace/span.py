@@ -1,0 +1,131 @@
+"""The span model of the causal tracing subsystem.
+
+A :class:`Span` is one traced event — a datagram send, a delivery, a
+drop, or a protocol-level local event (a flush start, a view install, a
+suspicion...).  Spans carry:
+
+* ``trace_id`` — all spans causally downstream of one root share it;
+* ``span_id`` — a per-collector counter, allocated in event order, so
+  ids are deterministic functions of the simulation (never ``id()`` or
+  wall clock);
+* ``parent_id`` — the causal parent edge: a delivery's parent is the
+  send that produced it, a send's parent is the delivery (or explicit
+  span) during which it was issued;
+* ``begin`` / ``end`` — simulated times.  A send span begins when the
+  datagram leaves and ends when it is delivered (or dropped); ``end``
+  stays ``None`` for datagrams still in flight when the run stops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+KIND_SEND = "send"
+KIND_DELIVER = "deliver"
+KIND_DROP = "drop"
+KIND_LOCAL = "local"
+
+KINDS = (KIND_SEND, KIND_DELIVER, KIND_DROP, KIND_LOCAL)
+
+
+class Span:
+    """One traced event with a causal parent link.
+
+    A ``__slots__`` class: tracing a steady-state run creates two spans
+    per datagram, so spans are allocation-hot whenever tracing is on.
+    """
+
+    __slots__ = (
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "kind",
+        "name",
+        "category",
+        "src",
+        "dst",
+        "begin",
+        "end",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        trace_id: int,
+        parent_id: Optional[int],
+        kind: str,
+        name: str,
+        category: str,
+        src: Optional[str],
+        dst: Optional[str],
+        begin: float,
+        end: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.kind = kind
+        self.name = name
+        self.category = category
+        self.src = src
+        self.dst = dst
+        self.begin = begin
+        self.end = end
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.begin
+
+    @property
+    def process(self) -> Optional[str]:
+        """The process a span is charged to: deliveries happen at the
+        destination, everything else at the source."""
+        if self.kind == KIND_DELIVER:
+            return self.dst
+        return self.src if self.src is not None else self.dst
+
+    def to_tuple(self) -> Tuple:
+        """A fully deterministic value-tuple (attrs sorted by key) —
+        what the determinism tests compare across same-seed runs."""
+        attrs = tuple(sorted(self.attrs.items())) if self.attrs else ()
+        return (
+            self.span_id,
+            self.trace_id,
+            self.parent_id,
+            self.kind,
+            self.name,
+            self.category,
+            self.src,
+            self.dst,
+            self.begin,
+            self.end,
+            attrs,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "name": self.name,
+            "category": self.category,
+            "src": self.src,
+            "dst": self.dst,
+            "begin": self.begin,
+            "end": self.end,
+            "attrs": dict(sorted(self.attrs.items())) if self.attrs else {},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span(#{self.span_id} trace={self.trace_id} "
+            f"parent={self.parent_id} {self.kind} {self.name!r} "
+            f"{self.src}->{self.dst} @{self.begin:.6f}..{self.end})"
+        )

@@ -105,9 +105,20 @@ class ReliableTransport:
 
     def _retransmit_sweep(self) -> None:
         now = self._process.env.now
+        trace = self._process.env.network.trace
         for dst, state in self._send.items():
             for segment in state.due_for_retransmit(now, self._rto, self._incarnation):
-                self._process.send(dst, segment)
+                if trace is not None:
+                    # Each retransmission gets its own span so traced runs
+                    # separate first transmissions from recovery traffic.
+                    with trace.span(
+                        "retransmit", category="transport",
+                        process=self._process.address, peer=dst,
+                        seq=segment.seq,
+                    ):
+                        self._process.send(dst, segment)
+                else:
+                    self._process.send(dst, segment)
 
     # -- receiving --------------------------------------------------------------
 
@@ -150,6 +161,13 @@ class ReliableTransport:
             return
         self._peer_incarnation[peer] = incarnation
         self._recv.pop(peer, None)  # its old outgoing channel died with it
+        trace = self._process.env.network.trace
+        if trace is not None:
+            trace.local(
+                "channel-restart", category="transport",
+                process=self._process.address, peer=peer,
+                incarnation=incarnation,
+            )
         state = self._send.get(peer)
         if state is not None:
             pending = state.restart(self._process.env.now)

@@ -93,6 +93,29 @@ def test_rl007_scheduler_internals():
     assert codes("t = env.scheduler.now\n") == []
 
 
+def test_rl008_trace_internals_in_protocol_code():
+    assert "RL008" in codes("import repro.trace\n")
+    assert "RL008" in codes("import repro.trace.collector\n")
+    assert "RL008" in codes("from repro.trace import TraceCollector\n")
+    assert "RL008" in codes("from repro.trace.collector import TraceCollector\n")
+    assert "RL008" in codes("from repro import trace\n")
+    assert "RL008" in codes("span = collector.new_span('x', 'y', 'z')\n")
+    assert "RL008" in codes("spans = network.trace.collector.spans()\n")
+    # The guarded-sink idiom is the approved hook surface.
+    assert codes(
+        "trace = self.process.env.network.trace\n"
+        "if trace is not None:\n"
+        "    trace.local('suspect', category='membership', process=me)\n"
+    ) == []
+    # Outside protocol packages (the trace package itself, metrics,
+    # tools, tests) the rule is silent.
+    assert codes("from repro.trace import TraceCollector\n", path=PLAIN) == []
+    assert codes(
+        "span = self.collector.new_span('a', 'b', 'c')\n",
+        path="src/repro/trace/api.py",
+    ) == []
+
+
 def test_every_rule_has_a_code_and_hint():
     seen = set()
     for rule in ALL_RULES:

@@ -1,0 +1,159 @@
+"""Partition + failure-detector interplay, observed through the causal
+tracer: a partition turns into heartbeat drop spans on the wire and
+suspicion spans on both islands, a heal stops the bleeding, and a single
+failure's disturbance stays bounded (the E5 shape) with tracing on."""
+
+from dataclasses import dataclass
+
+from repro import trace
+from repro.core import (
+    LargeGroupParams,
+    build_large_group,
+    build_leader_group,
+)
+from repro.failure import HeartbeatDetector
+from repro.membership import build_group
+from repro.net import FixedLatency
+from repro.proc import Environment
+
+
+@dataclass
+class App:
+    category = "app"
+    tag: str = ""
+
+
+def _hb(node):
+    return HeartbeatDetector(node, interval=0.1, suspect_after=0.5)
+
+
+MINORITY = {"g-0", "g-1"}
+MAJORITY = {"g-2", "g-3", "g-4"}
+
+
+def build_partitionable(seed=1):
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    nodes, members = build_group(
+        env,
+        "g",
+        5,
+        detector_factory=_hb,
+        primary_partition=True,
+        gossip_interval=None,
+    )
+    env.run_for(1.0)
+    return env, nodes, members
+
+
+def _island(address):
+    return 0 if address in MINORITY else 1
+
+
+def test_partition_shows_drops_and_suspicions_as_spans():
+    env, nodes, members = build_partitionable()
+    sink = trace.attach(env)
+    env.network.partitions.partition(MINORITY, MAJORITY)
+    env.run_for(10.0)
+
+    # Every cut heartbeat leaves a drop span crossing the islands.
+    drops = sink.collector.by_kind(trace.KIND_DROP)
+    assert drops
+    heartbeat_drops = [d for d in drops if d.category == "heartbeat"]
+    assert heartbeat_drops
+    assert all(_island(d.src) != _island(d.dst) for d in heartbeat_drops)
+    # Each drop span hangs off the send span it terminated.
+    send_ids = {s.span_id for s in sink.collector.by_kind(trace.KIND_SEND)}
+    assert all(d.parent_id in send_ids for d in heartbeat_drops)
+
+    # Both islands converted silence into suspicion spans about the
+    # other side, never about a reachable peer.
+    suspicions = [
+        s for s in sink.collector.by_kind(trace.KIND_LOCAL)
+        if s.name == "suspicion"
+    ]
+    assert suspicions
+    suspecting_islands = set()
+    for s in suspicions:
+        assert _island(s.process) != _island(s.attrs["peer"])
+        suspecting_islands.add(_island(s.process))
+    assert suspecting_islands == {0, 1}
+
+    # The majority flushed the minority out, leaving the view trail.
+    installs = [
+        s for s in sink.collector.by_kind(trace.KIND_LOCAL)
+        if s.name == "view-install"
+    ]
+    assert any(s.attrs["size"] == 3 for s in installs)
+    for i in (2, 3, 4):
+        assert set(members[i].view.members) == MAJORITY
+
+
+def test_heal_stops_drops_and_lets_the_minority_rejoin():
+    env, nodes, members = build_partitionable()
+    sink = trace.attach(env)
+    env.network.partitions.partition(MINORITY, MAJORITY)
+    env.run_for(10.0)
+    heal_time = env.now
+    env.network.partitions.heal()
+    env.run_for(2.0)
+    rejoined = [
+        nodes[i].runtime.rejoin_group("g", contact="g-2") for i in (0, 1)
+    ]
+    env.run_for(10.0)
+
+    assert all(m.is_member for m in rejoined)
+    assert set(members[2].view.members) == MINORITY | MAJORITY
+    # The wire healed: no datagram dropped after the heal.
+    late_drops = [
+        d for d in sink.collector.by_kind(trace.KIND_DROP)
+        if d.begin > heal_time
+    ]
+    assert late_drops == []
+    # The rejoin left its own view-install spans at the new size.
+    installs = [
+        s for s in sink.collector.by_kind(trace.KIND_LOCAL)
+        if s.name == "view-install" and s.begin > heal_time
+    ]
+    assert any(s.attrs["size"] == 5 for s in installs)
+
+
+def test_e5_disturbance_stays_bounded_under_tracing():
+    """Crash one worker of a traced hierarchical service: the processes
+    disturbed stay within the leaf + leader bound (paper §3, experiment
+    E5), and the tracer shows the suspicion -> flush -> view-install
+    cascade confined to the victim's leaf."""
+    n = 24
+    env = Environment(seed=5, latency=FixedLatency(0.002))
+    params = LargeGroupParams(resiliency=2, fanout=4)
+    leaders = build_leader_group(env, "svc", params, gossip_interval=None)
+    contacts = tuple(r.node.address for r in leaders)
+    members = build_large_group(
+        env, "svc", n, params, contacts, gossip_interval=None
+    )
+    env.run_for(5.0 + 0.3 * n)
+    sink = trace.attach(env)
+
+    victim = members[n // 2]
+    victim_address = victim.me
+    leaf_group = victim.leaf_member.group
+    before = env.stats_snapshot()
+    victim.node.crash()
+    env.run_for(5.0)
+
+    delta = env.stats_since(before)
+    touched = sum(1 for count in delta.received_by.values() if count > 0)
+    bound = params.leaf_split_threshold + params.leader_group_size
+    assert touched <= bound + 2, (
+        f"{touched} processes disturbed, bound {bound}"
+    )
+
+    local = sink.collector.by_kind(trace.KIND_LOCAL)
+    suspicions = [s for s in local if s.name == "suspicion"]
+    assert suspicions
+    assert all(s.attrs["peer"] == victim_address for s in suspicions)
+    flushes = [s for s in local if s.name == "flush-start"]
+    installs = [s for s in local if s.name == "view-install"]
+    assert flushes and installs
+    # The membership cascade never leaves the victim's leaf.
+    assert {s.attrs["group"] for s in flushes} == {leaf_group}
+    assert {s.attrs["group"] for s in installs} == {leaf_group}

@@ -37,9 +37,17 @@ def _hb(node):
     return HeartbeatDetector(node, interval=0.2, suspect_after=1.0)
 
 
-def run_hier_churn_scenario(seed: int, latency=None, drop: float = 0.0):
+def run_hier_churn_scenario(
+    seed: int, latency=None, drop: float = 0.0, instrument=None
+):
     """A mid-size hierarchical service with heartbeats, gossip, a crash
-    and a recovery — exercising every path the perf rewrite touched."""
+    and a recovery — exercising every path the perf rewrite touched.
+
+    ``instrument``, if given, is called with the environment before the
+    run starts — how tests bolt observation-only instrumentation (e.g.
+    ``repro.trace.attach``) onto the frozen scenario to prove it changes
+    nothing.
+    """
     env = Environment(
         seed=seed,
         latency=latency if latency is not None else FixedLatency(0.002),
@@ -61,6 +69,8 @@ def run_hier_churn_scenario(seed: int, latency=None, drop: float = 0.0):
         gossip_interval=0.5,
     )
     digest = DeliveryDigest(env.network)
+    if instrument is not None:
+        instrument(env)
     env.run_for(4.0)
     env.crash("svc-w-3")
     env.run_for(2.0)
@@ -75,7 +85,7 @@ def run_hier_churn_scenario(seed: int, latency=None, drop: float = 0.0):
     )
 
 
-def run_flat_churn_scenario(seed: int = 23):
+def run_flat_churn_scenario(seed: int = 23, instrument=None):
     """A flat heartbeat-monitored group with a crash and a recovery.
 
     Fixed latency, no loss, no duplicates: the run consumes zero RNG
@@ -90,6 +100,8 @@ def run_flat_churn_scenario(seed: int = 23):
         env, "svc", 32, detector_factory=_hb, gossip_interval=0.5
     )
     digest = DeliveryDigest(env.network)
+    if instrument is not None:
+        instrument(env)
     env.run_for(3.0)
     env.crash("svc-5")
     env.run_for(2.0)

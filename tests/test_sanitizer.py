@@ -211,3 +211,68 @@ def test_detach_restores_delivery_path():
     members[0].multicast(App("two"), FIFO)
     env.run_for(1.0)
     assert sanitizer.deliveries_checked == checked
+
+
+# --------------------------------------------------- trace context wiring
+
+
+def test_violation_carries_trace_context_when_traced():
+    """With the causal tracer attached, a violation detected inside a
+    real (network-routed) delivery records the offending delivery's
+    trace and span ids, so the report points at causal history."""
+    from repro import trace
+
+    env, nodes, members = make_group(3)
+    sink = trace.attach(env)
+    sanitizer = VirtualSynchronySanitizer(strict=False)
+    sanitizer.attach_all(members)
+    # Poison the watermark so the next genuine FIFO delivery at g-1
+    # registers as a per-sender reordering (VS002) *during* a traced
+    # delivery callback.
+    view = members[1].view
+    state = sanitizer._state[(view.group, view.seq)][members[1].me]
+    state.watermarks[(members[0].me, FIFO)] = 99
+    members[0].multicast(App("x"), FIFO)
+    env.run_for(1.0)
+
+    vs = [v for v in sanitizer.violations if v.code == "VS002"]
+    assert vs, "poisoned watermark should have fired VS002"
+    violation = vs[0]
+    assert violation.member == members[1].me
+    assert violation.trace_id is not None
+    assert violation.span_id is not None
+    span = sink.collector.span(violation.span_id)
+    assert span is not None
+    assert span.kind == "deliver"
+    assert span.trace_id == violation.trace_id
+    assert span.process == members[1].me  # the offending delivery
+
+
+def test_violation_trace_context_none_when_untraced():
+    env, nodes, members = make_group(3)
+    sanitizer = VirtualSynchronySanitizer(strict=False)
+    sanitizer.attach_all(members)
+    view = members[1].view
+    state = sanitizer._state[(view.group, view.seq)][members[1].me]
+    state.watermarks[(members[0].me, FIFO)] = 99
+    members[0].multicast(App("x"), FIFO)
+    env.run_for(1.0)
+    vs = [v for v in sanitizer.violations if v.code == "VS002"]
+    assert vs and vs[0].trace_id is None and vs[0].span_id is None
+
+
+def test_strict_violation_message_names_trace_ids():
+    from repro import trace
+
+    env, nodes, members = make_group(3)
+    trace.attach(env)
+    sanitizer = VirtualSynchronySanitizer(strict=True)
+    sanitizer.attach_all(members)
+    view = members[1].view
+    state = sanitizer._state[(view.group, view.seq)][members[1].me]
+    state.watermarks[(members[0].me, FIFO)] = 99
+    members[0].multicast(App("x"), FIFO)
+    with pytest.raises(VirtualSynchronyViolation) as excinfo:
+        env.run_for(1.0)
+    assert excinfo.value.code == "VS002"
+    assert "trace " in str(excinfo.value)

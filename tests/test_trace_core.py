@@ -1,0 +1,264 @@
+"""Causal tracing subsystem: span capture, causal parenting through the
+network, queries, critical-path analysis, exporters, and the guarded
+protocol hooks (suspicions, flushes, view installs, ordering events)."""
+
+from dataclasses import dataclass
+
+from repro import trace
+from repro.membership import FIFO, TOTAL, build_group
+from repro.net import FixedLatency
+from repro.proc import Environment, Process
+
+
+@dataclass
+class Ping:
+    category = "ping"
+    tag: str = ""
+
+
+@dataclass
+class Pong:
+    category = "pong"
+    tag: str = ""
+
+
+def make_pair():
+    """Two processes; b answers every Ping with a Pong."""
+    env = Environment(seed=1, latency=FixedLatency(0.002))
+    a = Process(env, "a")
+    b = Process(env, "b")
+    b.on(Ping, lambda msg, sender: b.send(sender, Pong(msg.tag)))
+    a.on(Pong, lambda msg, sender: None)
+    return env, a, b
+
+
+# ------------------------------------------------------------ installation
+
+
+def test_attach_is_idempotent_and_detach_disables():
+    env, a, b = make_pair()
+    sink = trace.attach(env)
+    assert trace.attach(env) is sink
+    assert env.network.trace is sink
+    collector = trace.detach(env)
+    assert collector is sink.collector
+    assert env.network.trace is None
+    a.send("b", Ping("quiet"))
+    env.run_for(1.0)
+    assert len(collector) == 0  # nothing recorded once detached
+
+
+def test_untraced_run_records_nothing_and_costs_no_state():
+    env, a, b = make_pair()
+    a.send("b", Ping("x"))
+    env.run_for(1.0)
+    assert env.network.trace is None
+
+
+# ---------------------------------------------------- causal propagation
+
+
+def test_send_deliver_spans_parent_causally():
+    env, a, b = make_pair()
+    sink = trace.attach(env)
+    with sink.root("request", process="a") as root:
+        a.send("b", Ping("x"))
+    env.run_for(1.0)
+
+    spans = sink.collector.trace(root.trace_id)
+    kinds = [(s.kind, s.name) for s in spans]
+    assert kinds == [
+        ("local", "request"),
+        ("send", "ping"),
+        ("deliver", "ping"),
+        ("send", "pong"),
+        ("deliver", "pong"),
+    ]
+    send_ping, deliver_ping, send_pong, deliver_pong = spans[1:]
+    # Parent edges follow causality: root -> send -> deliver -> send -> ...
+    assert send_ping.parent_id == root.span_id
+    assert deliver_ping.parent_id == send_ping.span_id
+    assert send_pong.parent_id == deliver_ping.span_id
+    assert deliver_pong.parent_id == send_pong.span_id
+    # Send spans cover the wire flight: closed at delivery time.
+    assert send_ping.begin == 0.0 and send_ping.end == 0.002
+    assert deliver_pong.begin == 0.004
+    # Charged processes: delivers to the receiver, sends to the sender.
+    assert send_ping.process == "a" and deliver_ping.process == "b"
+
+
+def test_sends_outside_any_span_start_fresh_traces():
+    env, a, b = make_pair()
+    sink = trace.attach(env)
+    a.send("b", Ping("one"))
+    env.run_for(1.0)
+    a.send("b", Ping("two"))
+    env.run_for(1.0)
+    # Two unparented requests -> two distinct traces (ping+pong each).
+    assert len(sink.collector.trace_ids()) == 2
+
+
+def test_drop_spans_record_lost_datagrams():
+    env, a, b = make_pair()
+    sink = trace.attach(env)
+    env.network.partitions.partition({"a"}, {"b"})
+    with sink.root("doomed", process="a") as root:
+        a.send("b", Ping("lost"))
+    env.run_for(1.0)
+    drops = sink.collector.by_kind(trace.KIND_DROP)
+    assert len(drops) == 1
+    assert drops[0].trace_id == root.trace_id
+    assert drops[0].attrs is None or True  # instant span, no duration
+    assert drops[0].begin == drops[0].end
+
+
+def test_mid_run_attach_traces_only_later_traffic():
+    env, a, b = make_pair()
+    a.send("b", Ping("before"))
+    env.run_for(1.0)
+    sink = trace.attach(env)
+    a.send("b", Ping("after"))
+    env.run_for(1.0)
+    categories = {s.name for s in sink.collector.spans if s.kind == "send"}
+    assert categories == {"ping", "pong"}
+    assert sink.collector.recorded == 4  # one ping+pong round only
+
+
+# ------------------------------------------------------------ ring buffer
+
+
+def test_ring_buffer_keeps_newest_and_counts_evictions():
+    env, a, b = make_pair()
+    sink = trace.attach(env, capacity=4)
+    for i in range(5):
+        a.send("b", Ping(str(i)))
+    env.run_for(2.0)
+    collector = sink.collector
+    assert collector.recorded == 20  # 5 x (2 sends + 2 delivers)
+    assert len(collector) == 4
+    assert collector.evicted == 16
+    # The retained window is the newest spans, ids still increasing.
+    ids = [s.span_id for s in collector.spans]
+    assert ids == sorted(ids) and ids[-1] == 20
+
+
+# ---------------------------------------------------------------- queries
+
+
+def test_query_api_walks_the_causal_tree():
+    env, a, b = make_pair()
+    sink = trace.attach(env)
+    with sink.root("request", process="a") as root:
+        a.send("b", Ping("x"))
+    env.run_for(1.0)
+    collector = sink.collector
+
+    roots = collector.roots(root.trace_id)
+    assert [s.span_id for s in roots] == [root.span_id]
+    children = collector.children(root.span_id)
+    assert [s.name for s in children] == ["ping"]
+    descendants = collector.descendants(root.span_id)
+    assert len(descendants) == 4  # everything below the root
+    leaf = descendants[-1]
+    chain = collector.ancestors(leaf.span_id)
+    assert chain[-1].span_id == root.span_id  # walks up to the root
+    assert collector.counts() == {"local": 1, "send": 2, "deliver": 2}
+    assert {s.span_id for s in collector.by_process("b")} >= {
+        s.span_id for s in collector.by_kind("deliver") if s.dst == "b"
+    }
+
+
+# ------------------------------------------------------ analysis & export
+
+
+def test_critical_path_and_summary_on_a_round_trip():
+    env, a, b = make_pair()
+    sink = trace.attach(env)
+    with sink.root("request", process="a") as root:
+        a.send("b", Ping("x"))
+    env.run_for(1.0)
+
+    path = trace.critical_path(sink.collector, root.trace_id)
+    assert path.hops == 2  # ping out, pong back
+    assert path.duration == 0.004
+    assert [s.kind for s in path.steps] == [
+        "local", "send", "deliver", "send", "deliver"
+    ]
+    assert "2 message hops" in path.describe()
+
+    summary = trace.summarize(sink.collector, root.trace_id)
+    assert summary.sends == 2 and summary.delivers == 2
+    assert summary.messages(("ping",)) == 1
+    assert summary.messages() == 2
+    assert summary.duration == 0.004
+
+
+def test_render_tree_shows_causal_depth_and_elides():
+    env, a, b = make_pair()
+    sink = trace.attach(env)
+    with sink.root("request", process="a") as root:
+        a.send("b", Ping("x"))
+    env.run_for(1.0)
+    text = trace.render_tree(sink.collector, root.trace_id)
+    lines = text.splitlines()
+    assert "trace 1" in lines[0]
+    assert "[local] request" in lines[1]
+    # Indentation tracks causal depth: deliver sits under its send.
+    send_line = next(l for l in lines if "[send] ping" in l)
+    deliver_line = next(l for l in lines if "[deliver] ping" in l)
+    assert len(deliver_line) - len(deliver_line.lstrip()) > len(
+        send_line
+    ) - len(send_line.lstrip())
+    elided = trace.render_tree(sink.collector, root.trace_id, max_spans=2)
+    assert "more span" in elided
+
+
+def test_chrome_export_structure():
+    env, a, b = make_pair()
+    sink = trace.attach(env)
+    with sink.root("request", process="a"):
+        a.send("b", Ping("x"))
+    env.run_for(1.0)
+    doc = trace.to_chrome_trace(sink.collector.spans, clock_end=env.now)
+    events = doc["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert "M" in phases  # process/thread naming metadata
+    assert "X" in phases  # complete spans with duration
+    assert "i" in phases  # instantaneous events
+    for event in events:
+        assert {"name", "ph", "pid", "tid"} <= set(event)
+    # Timestamps are microseconds of simulated time.
+    ping_send = next(
+        e for e in events if e["ph"] == "X" and e["name"] == "ping"
+        and e["args"]["kind"] == "send"
+    )
+    assert ping_send["ts"] == 0.0 and ping_send["dur"] == 2000.0
+
+
+# ------------------------------------------------- protocol-layer spans
+
+
+def test_group_protocol_emits_membership_and_failure_spans():
+    env = Environment(seed=3, latency=FixedLatency(0.002))
+    nodes, members = build_group(env, "g", 4, gossip_interval=None)
+    sink = trace.attach(env)
+    env.run_for(1.0)
+    members[0].multicast(Ping("t"), TOTAL)
+    members[1].multicast(Ping("f"), FIFO)
+    env.run_for(1.0)
+    nodes[3].crash()
+    env.run_for(5.0)
+
+    names = {s.name for s in sink.collector.by_kind(trace.KIND_LOCAL)}
+    # The ordering engine stamped the TOTAL assignment; the crash walked
+    # suspicion -> flush -> view install, each leaving a span.
+    assert "order-assign" in names
+    assert "suspicion" in names
+    assert "flush-start" in names
+    assert "view-install" in names
+    installs = [
+        s for s in sink.collector.by_kind(trace.KIND_LOCAL)
+        if s.name == "view-install"
+    ]
+    assert all(s.attrs["seq"] == 2 for s in installs)
+    assert {s.attrs["size"] for s in installs} == {3}

@@ -18,7 +18,10 @@ delivery digests):
   hash ordering (RL003) or on object identity (RL004);
 * mutable default arguments silently share state across calls (RL005);
 * float equality on simulated time misfires after arithmetic (RL006);
-* the event heap is owned by the scheduler alone (RL007).
+* the event heap is owned by the scheduler alone (RL007);
+* protocol code reaches the causal tracer only through the guarded
+  ``network.trace`` sink — never the collector or span internals
+  (RL008), so tracing stays observation-only and zero-cost when off.
 """
 
 from __future__ import annotations
@@ -405,6 +408,68 @@ class SchedulerInternalsRule(Rule):
         self.generic_visit(node)
 
 
+class TraceInternalsRule(Rule):
+    """RL008: protocol code must use the guarded trace entry points.
+
+    The contract that keeps tracing zero-cost when disabled and
+    observation-only when enabled: protocol packages read
+    ``network.trace`` (a :class:`~repro.trace.api.TraceSink` or None) and
+    call its methods behind a None check.  Importing the trace package's
+    internals, constructing spans directly with ``new_span()``, or
+    reaching through the sink into its ``.collector`` from protocol code
+    bypasses the guard and couples protocols to the trace store.
+    """
+
+    code = "RL008"
+    title = "trace internals accessed from protocol code"
+    hint = (
+        "go through the guarded sink: read network.trace, check for None "
+        "and call its on_*/local/span methods — never import repro.trace "
+        "or touch the collector from protocol packages"
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self.ctx.is_protocol:
+            return
+        for alias in node.names:
+            if alias.name == "repro.trace" or alias.name.startswith("repro.trace."):
+                self.flag(node, f"import of trace internals '{alias.name}'")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self.ctx.is_protocol:
+            return
+        module = node.module or ""
+        if module == "repro.trace" or module.startswith("repro.trace."):
+            self.flag(node, f"import from trace internals '{module}'")
+        elif module == "repro":
+            for alias in node.names:
+                if alias.name == "trace":
+                    self.flag(node, "import of the trace package")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.ctx.is_protocol
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "new_span"
+        ):
+            self.flag(node, "direct span construction via new_span()")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # <anything>.trace.collector — reaching through the sink into the
+        # span store from protocol code.
+        if (
+            self.ctx.is_protocol
+            and node.attr == "collector"
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "trace"
+        ):
+            self.flag(node, "collector access through the trace sink")
+        self.generic_visit(node)
+
+
 ALL_RULES = (
     WallClockRule,
     StdlibRandomRule,
@@ -413,6 +478,7 @@ ALL_RULES = (
     MutableDefaultRule,
     FloatTimeEqualityRule,
     SchedulerInternalsRule,
+    TraceInternalsRule,
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -19,6 +19,12 @@ Scenarios:
     The same steady state under the paper's hierarchy: members heartbeat
     only within their leaf group, leaders within the leader group.
 
+``hier_steady_n64_traced``
+    ``hier_steady_n64`` with the causal tracer attached
+    (:mod:`repro.trace`, ring-buffer capture): the events/sec delta
+    against ``hier_steady_n64`` is the cost of tracing *on*; its
+    fingerprint must be identical (tracing is observation-only).
+
 ``churn``
     A flat heartbeat-monitored group with a rolling crash/recover cycle:
     exercises suspicion, flush, rejoin, and the scheduler's lazily
@@ -241,6 +247,25 @@ def scenario_hier_steady(
     return result
 
 
+def scenario_hier_steady_traced(
+    n: int, sim_s: float, seed: int = 13, settle: float = 6.0
+) -> Dict:
+    """``hier_steady`` with the causal tracer attached — measures what
+    tracing *on* costs per event.  Ring-buffer capture bounds memory;
+    the behaviour fingerprint must equal the untraced scenario's (the
+    tracer is observation-only)."""
+    from repro import trace
+
+    env = _build_hier(n, seed, join_stagger=0.02)
+    env.run_for(settle + 0.02 * n)  # identical settle to hier_steady
+    sink = trace.attach(env, capacity=1 << 16)
+    digest = DeliveryDigest(env.network)
+    result = _timed_run(env, sim_s)
+    result["fingerprint"] = _fingerprint(env, digest)
+    result["trace_spans_recorded"] = sink.collector.recorded
+    return result
+
+
 def scenario_churn(sim_s: float, n: int = 24, seed: int = 17) -> Dict:
     """Rolling crash/recover over a heartbeat-monitored flat group."""
     env = _build_flat(n, seed)
@@ -266,6 +291,9 @@ def build_scenarios(quick: bool) -> Dict[str, Callable[[], Dict]]:
             "scheduler_micro": lambda: scenario_scheduler_micro(True),
             "flat_steady_n64": lambda: scenario_flat_steady(64, 1.0),
             "hier_steady_n64": lambda: scenario_hier_steady(64, 1.5, settle=4.0),
+            "hier_steady_n64_traced": lambda: scenario_hier_steady_traced(
+                64, 1.5, settle=4.0
+            ),
             "churn": lambda: scenario_churn(3.0),
         }
     return {
@@ -273,6 +301,7 @@ def build_scenarios(quick: bool) -> Dict[str, Callable[[], Dict]]:
         "flat_steady_n64": lambda: scenario_flat_steady(64, 4.0),
         "flat_steady_n256": lambda: scenario_flat_steady(256, 1.0),
         "hier_steady_n64": lambda: scenario_hier_steady(64, 6.0),
+        "hier_steady_n64_traced": lambda: scenario_hier_steady_traced(64, 6.0),
         "hier_steady_n256": lambda: scenario_hier_steady(256, 3.0),
         "churn": lambda: scenario_churn(10.0),
     }
