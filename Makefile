@@ -1,13 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline sanitize trace bench bench-report bench-quick perf-smoke clean
+.PHONY: test lint lint-baseline sanitize smoke-asyncio trace bench bench-report bench-quick bench-tables perf-smoke clean
 
-## Tier-1: unit + integration tests (includes the quick perf smoke).
+## Tier-1: unit + integration tests (includes the quick perf smoke and
+## the asyncio backend smoke, marker: asyncio_smoke).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Static determinism & protocol-safety analysis (tools/lint, RL001…RL008).
+## Static determinism & protocol-safety analysis (tools/lint, RL001…RL009).
 lint:
 	$(PYTHON) -m tools.lint src/repro
 
@@ -18,6 +19,12 @@ lint-baseline:
 ## Runtime virtual-synchrony sanitizer suite (VS001…VS006 hooks).
 sanitize:
 	$(PYTHON) -m pytest tests/test_sanitizer.py -q
+
+## Wall-clock smoke: the hierarchical demo live on the asyncio engine,
+## strict sanitizer attached, under a hard timeout (a wall-clock run can
+## hang in ways the simulator cannot — never let CI wait on it).
+smoke-asyncio:
+	timeout 60 $(PYTHON) -m repro live --workers 6 --time-scale 0.1
 
 ## Causal-trace demo: one request + one treecast through a hierarchical
 ## service, audited against E1 (2n messages) and E8 (log-depth stages);
@@ -38,6 +45,12 @@ bench-report:
 ## Fast variant of the perf suite for local iteration (no JSON merge).
 bench-quick:
 	$(PYTHON) -m tools.perf_report --quick --label quick --out /dev/null
+
+## Regenerate the experiment-table capture under docs/ (single pass,
+## timing loop disabled, hash seed pinned).  A root-level
+## bench_tables.txt from a raw pytest redirect is scratch — gitignored.
+bench-tables:
+	$(PYTHON) -m tools.perf_report --tables docs/bench_tables.txt
 
 ## Just the event-core perf benchmarks (marker: perf).
 perf-smoke:

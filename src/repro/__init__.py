@@ -5,8 +5,11 @@ A from-scratch Python reproduction of Cooper & Birman (1989): the
 virtually synchronous process-group substrate of ISIS (views, fbcast /
 cbcast / abcast, the toolkit) plus the paper's contribution — large groups
 organised as bounded leaf subgroups under a resilient group leader, with
-tree-structured atomic broadcast — all running on a deterministic
-discrete-event network simulator.
+tree-structured atomic broadcast.  The protocol stack is engine-agnostic
+(:mod:`repro.runtime`): by default it runs on a deterministic
+discrete-event simulator (:class:`SimRuntime`); pass
+``Environment(runtime=AsyncioRuntime(...))`` and the same protocols run
+live on wall-clock asyncio timers.
 
 Quickstart::
 
@@ -26,10 +29,12 @@ from repro.membership.events import CAUSAL, FIFO, TOTAL
 from repro.membership.service import GroupNode, build_group, build_nodes
 from repro.net.latency import FixedLatency, LanLatency, UniformLatency
 from repro.proc.env import Environment
+from repro.runtime import AsyncioRuntime, SimRuntime
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncioRuntime",
     "CAUSAL",
     "Environment",
     "FIFO",
@@ -37,6 +42,7 @@ __all__ = [
     "GroupNode",
     "LanLatency",
     "LargeGroupParams",
+    "SimRuntime",
     "TOTAL",
     "UniformLatency",
     "build_group",

@@ -6,6 +6,7 @@ Usage::
     python -m repro trading  --analysts 150 --duration 8
     python -m repro factory  --cells 120  --duration 8
     python -m repro scale    --workers 64 # hierarchy vs flat cost table
+    python -m repro live     --workers 6  # same protocols on wall-clock asyncio
 """
 
 from __future__ import annotations
@@ -114,6 +115,67 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    """Hierarchical service on the wall-clock asyncio engine.
+
+    The exact protocol stack the simulator runs — leaders, leaf
+    subgroups, FIFO leaf multicast — on real asyncio timers, with the
+    strict virtual-synchrony sanitizer attached.  Exits non-zero if any
+    worker is left unplaced, any delivery goes missing, or the sanitizer
+    trips (a violation raises out of the run).
+    """
+    from repro.core import LargeGroupParams, build_large_group, build_leader_group
+    from repro.metrics.sanitizer import install_sanitizer
+    from repro.net import FixedLatency
+    from repro.runtime import AsyncioRuntime
+
+    runtime = AsyncioRuntime(seed=args.seed, time_scale=args.time_scale)
+    try:
+        env = Environment(latency=FixedLatency(0.002), runtime=runtime)
+        params = LargeGroupParams(resiliency=2, fanout=3)
+        leaders = build_leader_group(env, "svc", params)
+        contacts = tuple(r.node.address for r in leaders)
+        members = build_large_group(
+            env, "svc", args.workers, params, contacts, join_stagger=0.2
+        )
+        env.run_for(4.0)
+
+        placed = [m for m in members if m.is_member]
+        if len(placed) != args.workers:
+            print(f"FAIL: {args.workers - len(placed)} worker(s) unplaced")
+            return 1
+        sanitizer = install_sanitizer(m.leaf_member for m in placed)
+        deliveries = []
+        for m in placed:
+            m.add_delivery_listener(
+                lambda e, me=m.me: deliveries.append((me, e.sender, e.payload))
+            )
+        sender = placed[0]
+        env.scheduler.after(
+            0.1, lambda: [sender.leaf_multicast(f"m{i}", FIFO) for i in range(3)]
+        )
+        env.run_for(2.0)
+        counters = sanitizer.check(at_quiescence=True)
+
+        leaf_size = sum(
+            1 for m in placed if m.leaf_member.group == sender.leaf_member.group
+        )
+        expected = 3 * leaf_size
+        print(f"workers placed:       {len(placed)}/{args.workers}")
+        print(f"leaf deliveries:      {len(deliveries)}/{expected}")
+        print(f"sanitizer deliveries: {counters['deliveries_checked']} checked, "
+              f"{counters['violations']} violations")
+        print(f"logical time:         {env.now:.2f}s "
+              f"(time_scale={args.time_scale})")
+        if len(deliveries) != expected:
+            print("FAIL: delivery count mismatch")
+            return 1
+        print("wall-clock run sanitizer-clean: virtual synchrony held on asyncio.")
+        return 0
+    finally:
+        runtime.close()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -141,6 +203,17 @@ def main(argv=None) -> int:
     p_scale = sub.add_parser("scale", help="failure blast-radius table")
     p_scale.add_argument("--workers", type=int, default=64)
     p_scale.set_defaults(fn=cmd_scale)
+
+    p_live = sub.add_parser("live", help="hierarchical demo on wall-clock asyncio")
+    p_live.add_argument("--workers", type=int, default=6)
+    p_live.add_argument("--seed", type=int, default=1)
+    p_live.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.1,
+        help="wall seconds per logical second (0.1 = 10x faster than real time)",
+    )
+    p_live.set_defaults(fn=cmd_live)
 
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

@@ -69,7 +69,7 @@ class FailureDetector:
 
 
 class HeartbeatDetector(FailureDetector):
-    """Ping/ack failure detection over the real (simulated) network."""
+    """Ping/ack failure detection over the network (any engine)."""
 
     def __init__(
         self,

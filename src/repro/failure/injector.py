@@ -13,7 +13,7 @@ from typing import Iterable, List, Optional
 
 from repro.net.message import Address
 from repro.proc.env import Environment
-from repro.sim.rand import SimRandom
+from repro.runtime.api import SimRandom
 
 
 @dataclass

@@ -1,10 +1,11 @@
 """Time-series recording for experiments.
 
 A :class:`TimeSeriesRecorder` samples named probe functions at a fixed
-simulated-time interval — message rates, group sizes, queue depths —
-so workload runs can report how quantities evolved, not just their end
-state.  It schedules itself directly on the environment's scheduler
-(surviving any individual process's crash).
+engine-time interval — message rates, group sizes, queue depths — so
+workload runs can report how quantities evolved, not just their end
+state.  It schedules itself directly on the environment's timer service
+(surviving any individual process's crash), so it works unchanged on the
+simulated and wall-clock engines.
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ Probe = Callable[[], float]
 
 
 class TimeSeriesRecorder:
-    """Periodic sampler over the simulated clock."""
+    """Periodic sampler over the engine clock."""
 
     def __init__(self, env: Environment, interval: float = 0.5) -> None:
         if interval <= 0:

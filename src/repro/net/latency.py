@@ -12,7 +12,7 @@ from abc import ABC, abstractmethod
 from typing import Optional
 
 from repro.net.message import Address
-from repro.sim.rand import SimRandom
+from repro.runtime.api import SimRandom
 
 
 class LatencyModel(ABC):

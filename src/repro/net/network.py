@@ -1,4 +1,9 @@
-"""The simulated datagram network connecting all processes.
+"""The datagram network connecting all processes.
+
+The network models an unreliable LAN over whichever engine hosts the
+run: under :class:`~repro.runtime.sim_backend.SimRuntime` latency is
+simulated time, under :class:`~repro.runtime.asyncio_backend.
+AsyncioRuntime` it is a real wall-clock delay on the asyncio fabric.
 
 Semantics:
 
@@ -31,29 +36,37 @@ from repro.net.message import (
 )
 from repro.net.partition import PartitionManager
 from repro.net.stats import NetworkStats
-from repro.sim.rand import SimRandom
-from repro.sim.scheduler import Scheduler
+from repro.runtime.api import MessageFabric, SimRandom, TimerService
 
 DeliverFn = Callable[[Envelope], None]
 
 
 class Network:
-    """Datagram network over the event scheduler."""
+    """Datagram network over an engine's message fabric.
+
+    The network is engine-agnostic: it reads the clock and defers
+    deliveries through a :class:`~repro.runtime.api.MessageFabric`
+    (by default the engine's own :class:`~repro.runtime.api.
+    TimerService`, which under the sim backend is the Scheduler itself —
+    the PR-1 hot path unchanged).  The asyncio backend binds its
+    in-flight-counting fabric here instead.
+    """
 
     def __init__(
         self,
-        scheduler: Scheduler,
+        timers: TimerService,
         rng: SimRandom,
         latency: Optional[LatencyModel] = None,
         drop_probability: float = 0.0,
         duplicate_probability: float = 0.0,
         hardware_multicast: bool = False,
+        fabric: Optional[MessageFabric] = None,
     ) -> None:
         if not 0 <= drop_probability < 1:
             raise ValueError("drop_probability must be in [0, 1)")
         if not 0 <= duplicate_probability < 1:
             raise ValueError("duplicate_probability must be in [0, 1)")
-        self._scheduler = scheduler
+        self._fabric = fabric if fabric is not None else timers
         self._rng = rng
         self._latency = latency if latency is not None else FixedLatency(0.001)
         self.drop_probability = drop_probability
@@ -140,8 +153,8 @@ class Network:
         stats.record_send(src, category, total)
         if wire_packets:
             stats.record_wire(wire_packets)
-        scheduler = self._scheduler
-        now = scheduler.now
+        fabric = self._fabric
+        now = fabric.now
         envelope = Envelope(src, dst, payload, now, 0.0, size)
         if self._taps:
             self._tap("send", envelope)
@@ -157,7 +170,7 @@ class Network:
             return
         delay = self._latency.sample(rng, src, dst, total)
         envelope.deliver_time = now + delay
-        scheduler.at_call(envelope.deliver_time, self._deliver, envelope)
+        fabric.at_call(envelope.deliver_time, self._deliver, envelope)
         if rng.chance(self.duplicate_probability):
             # The duplicate gets its own latency draw and envelope (the
             # two copies are independently in flight).
@@ -165,7 +178,7 @@ class Network:
             duplicate = Envelope(src, dst, payload, now, now + delay, size)
             # Both copies stem from the same logical send span.
             duplicate.trace = envelope.trace
-            scheduler.at_call(duplicate.deliver_time, self._deliver, duplicate)
+            fabric.at_call(duplicate.deliver_time, self._deliver, duplicate)
 
     def _drop(self, envelope: Envelope) -> None:
         self.stats.record_drop()

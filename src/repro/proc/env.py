@@ -1,12 +1,20 @@
-"""The simulated cluster environment.
+"""The cluster environment: one engine + network + process registry.
 
-An :class:`Environment` bundles the event scheduler, the RNG, the network
-and the process registry — one per simulation run.  It is the single object
-tests and benchmarks construct::
+An :class:`Environment` bundles a :class:`~repro.runtime.api.Runtime`
+(clock, timers, seeded RNG, message fabric), the network and the process
+registry — one per run.  It is the single object tests, benchmarks and
+services construct::
 
-    env = Environment(seed=7)
+    env = Environment(seed=7)                 # discrete-event (default)
     members = [Worker(env, f"w{i}") for i in range(5)]
     env.run_for(2.0)
+
+The engine is pluggable: pass ``runtime=AsyncioRuntime(...)`` and the
+identical protocol stack runs on wall-clock time instead of simulated
+time (see docs/runtime.md).  ``env.scheduler`` is the engine's
+:class:`~repro.runtime.api.TimerService` — under the default sim backend
+it *is* the :class:`~repro.sim.scheduler.Scheduler`, so existing callers
+(and the PR-1 hot paths) are untouched.
 """
 
 from __future__ import annotations
@@ -16,15 +24,15 @@ from typing import Dict, Iterable, Optional, TYPE_CHECKING
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
 from repro.net.stats import StatsSnapshot
-from repro.sim.rand import SimRandom
-from repro.sim.scheduler import Scheduler
+from repro.runtime.api import Runtime
+from repro.runtime.sim_backend import SimRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.proc.process import Process
 
 
 class Environment:
-    """Scheduler + network + RNG + process registry for one simulation."""
+    """Engine + network + RNG + process registry for one run."""
 
     def __init__(
         self,
@@ -33,9 +41,17 @@ class Environment:
         drop_probability: float = 0.0,
         duplicate_probability: float = 0.0,
         hardware_multicast: bool = False,
+        runtime: Optional[Runtime] = None,
     ) -> None:
-        self.scheduler = Scheduler()
-        self.rng = SimRandom(seed)
+        # ``seed`` feeds the default sim engine; an explicitly supplied
+        # runtime brings its own root RNG (one seed per run, regardless
+        # of engine).
+        self.runtime = runtime if runtime is not None else SimRuntime(seed)
+        self.rng = self.runtime.rng
+        # The engine's TimerService.  Kept under the historical name:
+        # every layer reaches timers through ``env.scheduler``, and under
+        # SimRuntime this is literally the Scheduler instance.
+        self.scheduler = self.runtime.timers
         self.network = Network(
             self.scheduler,
             self.rng.fork("network"),
@@ -43,6 +59,7 @@ class Environment:
             drop_probability=drop_probability,
             duplicate_probability=duplicate_probability,
             hardware_multicast=hardware_multicast,
+            fabric=self.runtime.fabric,
         )
         self._processes: Dict[str, "Process"] = {}
         self._crash_listeners: list = []
@@ -54,10 +71,10 @@ class Environment:
         return self.scheduler.now
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        self.scheduler.run(until=until, max_events=max_events)
+        self.runtime.run(until=until, max_events=max_events)
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
-        self.scheduler.run_for(duration, max_events=max_events)
+        self.runtime.run_for(duration, max_events=max_events)
 
     # -- processes -------------------------------------------------------------
 
@@ -91,7 +108,7 @@ class Environment:
     def on_crash(self, listener) -> None:
         """Register ``listener(address)`` to run whenever a process crashes.
 
-        This is simulator scaffolding (used by the oracle failure detector
+        This is harness scaffolding (used by the oracle failure detector
         and test assertions), not a network facility.
         """
         self._crash_listeners.append(listener)

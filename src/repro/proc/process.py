@@ -1,11 +1,13 @@
 """Actor-style process base class.
 
-A :class:`Process` is one workstation-resident program in the simulated
-cluster.  It owns an address on the network, a payload-type dispatch table,
-and a set of timers.  Protocol layers (transport, membership, broadcast,
-toolkit) attach themselves to a process by registering handlers for their
-own payload types, so one process can host a whole protocol stack without
-the base class knowing about any of it.
+A :class:`Process` is one workstation-resident program in the cluster
+(simulated or live — the base class is engine-agnostic).  It owns an
+address on the network, a payload-type dispatch table, and a set of
+timers over the engine's :class:`~repro.runtime.api.TimerService`.
+Protocol layers (transport, membership, broadcast, toolkit) attach
+themselves to a process by registering handlers for their own payload
+types, so one process can host a whole protocol stack without the base
+class knowing about any of it.
 
 Crash semantics follow the fail-stop model the paper assumes: a crashed
 process stops sending, stops receiving (its endpoint disappears from the
@@ -19,7 +21,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Type
 
 from repro.net.message import Address, Envelope
 from repro.proc.env import Environment
-from repro.sim.scheduler import EventHandle
+from repro.runtime.api import TimerHandle
 
 Handler = Callable[[Any, Address], None]
 
@@ -27,11 +29,11 @@ Handler = Callable[[Any, Address], None]
 class Timer:
     """A cancellable (optionally periodic) timer owned by a process.
 
-    A periodic timer owns exactly one scheduler event for its whole life:
-    each tick *re-arms* the fired event object at the next deadline
-    (:meth:`~repro.sim.scheduler.Scheduler.rearm`) instead of allocating a
-    fresh closure, event and handle per tick — the dominant allocation in
-    heartbeat-heavy runs.
+    A periodic timer owns exactly one engine timer handle for its whole
+    life: each tick *re-arms* the fired handle at the next deadline
+    (:meth:`~repro.runtime.api.TimerService.rearm`) instead of allocating
+    a fresh closure, event and handle per tick — the dominant allocation
+    in heartbeat-heavy runs.
     """
 
     __slots__ = ("_process", "_delay", "_fn", "_periodic", "_cancelled", "_handle")
@@ -48,7 +50,7 @@ class Timer:
         self._fn = fn
         self._periodic = periodic
         self._cancelled = False
-        self._handle: Optional[EventHandle] = process.env.scheduler.after_call(
+        self._handle: Optional[TimerHandle] = process.env.scheduler.after_call(
             delay, Timer._fire, self
         )
 
@@ -73,7 +75,7 @@ class Timer:
 
 
 class Process:
-    """One addressable process in the simulated cluster."""
+    """One addressable process in the cluster (any engine)."""
 
     def __init__(self, env: Environment, address: Address) -> None:
         self.env = env

@@ -26,7 +26,6 @@ from typing import Dict, List, Optional
 from repro.membership.events import FIFO
 from repro.membership.service import build_group
 from repro.proc.env import Environment
-from repro.sim.rand import SimRandom
 from repro.toolkit.replication import ReplicatedDict
 from repro.workloads.common import ServiceCluster, WorkloadResult, build_service_cluster
 
@@ -72,7 +71,9 @@ class ManufacturingWorkload:
         self.env: Environment = self.cluster.env
         self.status_rate = status_rate
         self.order_rate = order_rate
-        self.rng = SimRandom(seed).fork("factory")
+        # Seed hygiene: all workload draws fork off the run's root RNG
+        # (one seed governs the entire run, whichever engine hosts it).
+        self.rng = self.env.rng.fork("workload/manufacturing")
         self.result = WorkloadResult(name="manufacturing", duration=0.0)
         self.recipes_applied: Dict[str, List[int]] = {}
 

@@ -28,7 +28,6 @@ from typing import Dict, List, Optional
 
 from repro.metrics.counters import LatencySample
 from repro.proc.env import Environment
-from repro.sim.rand import SimRandom
 from repro.workloads.common import ServiceCluster, WorkloadResult, build_service_cluster
 
 SYMBOLS = ("IBM", "DEC", "SUN", "HP", "T", "GE", "XRX", "KO")
@@ -67,7 +66,8 @@ class TradingRoomWorkload:
         self.feeds = feeds
         self.tick_rate = tick_rate
         self.query_rate = query_rate
-        self.rng = SimRandom(seed).fork("trading")
+        # Seed hygiene: fork the run's root RNG instead of reseeding.
+        self.rng = self.env.rng.fork("workload/trading")
         self.result = WorkloadResult(name="trading-room", duration=0.0)
         self._positions: Dict[str, int] = {s: 0 for s in SYMBOLS}
 

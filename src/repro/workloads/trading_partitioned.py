@@ -22,7 +22,6 @@ from repro.core.leader import GetHierarchyInfo, leaf_group_name
 from repro.membership.events import FIFO
 from repro.membership.service import GroupNode
 from repro.proc.env import Environment
-from repro.sim.rand import SimRandom
 from repro.toolkit.coordinator_cohort import CoordinatorCohortClient
 from repro.toolkit.hierarchical_service import HierarchicalServer
 from repro.toolkit.partitioned_data import owner_of
@@ -132,7 +131,8 @@ class SymbolPartitionedTrading:
         )
         self.env = self.cluster.env
         self.tick_rate = tick_rate
-        self.rng = SimRandom(seed).fork("sym-trading")
+        # Seed hygiene: fork the run's root RNG instead of reseeding.
+        self.rng = self.env.rng.fork("workload/trading_partitioned")
         self.result = WorkloadResult(name="trading-partitioned", duration=0.0)
         self.deliveries_by_analyst: Dict[str, int] = {}
 

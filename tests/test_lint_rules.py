@@ -116,6 +116,35 @@ def test_rl008_trace_internals_in_protocol_code():
     ) == []
 
 
+def test_rl009_sim_imports_outside_runtime():
+    # The engine boundary: protocol packages must not import repro.sim.
+    assert "RL009" in codes("from repro.sim.rand import SimRandom\n")
+    assert "RL009" in codes("from repro.sim.scheduler import Scheduler\n")
+    assert "RL009" in codes("from repro.sim import Scheduler, SimRandom\n")
+    assert "RL009" in codes("import repro.sim\n", path=PLAIN)
+    assert "RL009" in codes("import repro.sim.scheduler\n", path=PLAIN)
+    assert "RL009" in codes("from repro import sim\n", path=PLAIN)
+    assert "RL009" in codes(
+        "from repro.sim.scheduler import EventHandle\n",
+        path="src/repro/proc/process.py",
+    )
+    # The simulator itself and the runtime backends are the two homes.
+    assert codes(
+        "from repro.sim.rand import SimRandom\n", path="src/repro/sim/__init__.py"
+    ) == []
+    assert codes(
+        "from repro.sim.scheduler import Scheduler\n",
+        path="src/repro/runtime/sim_backend.py",
+    ) == []
+    # The engine-contract idiom is the approved import surface.
+    assert codes("from repro.runtime.api import SimRandom, TimerService\n") == []
+    assert codes("from repro.runtime import AsyncioRuntime, SimRuntime\n") == []
+    # Per-line disable still works for judged exceptions.
+    assert codes(
+        "from repro.sim import Scheduler  # repro-lint: disable=RL009\n"
+    ) == []
+
+
 def test_every_rule_has_a_code_and_hint():
     seen = set()
     for rule in ALL_RULES:

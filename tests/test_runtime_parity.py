@@ -1,0 +1,239 @@
+"""Backend parity: the same protocol scenarios on both engines.
+
+The engine contract (:mod:`repro.runtime.api`) promises that the
+protocol stack above it is engine-agnostic.  This suite holds the
+promise to account:
+
+* a flat four-member group and a small hierarchical service each run
+  once on :class:`SimRuntime` and once on :class:`AsyncioRuntime`;
+* both runs must finish sanitizer-clean (VS001–VS006 strict mode — a
+  violation raises inside a timer callback and both engines surface it);
+* both runs must agree on the *protocol-level* outcomes: final views,
+  leaf placement, and the per-sender delivery sequence seen by every
+  receiver.
+
+What is deliberately **not** compared is the global interleaving of
+deliveries across senders: the wall-clock engine races the OS, so only
+the orders the protocols themselves enforce (per-sender FIFO, causal,
+total) are stable across engines.  The sim backend additionally must
+reproduce the frozen determinism baselines of ``test_perf_determinism``
+— the adapter is required to be a zero-behaviour-change wrapper.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import LargeGroupParams, build_large_group, build_leader_group
+from repro.membership import CAUSAL, FIFO, TOTAL, build_group
+from repro.metrics.digest import DeliveryDigest
+from repro.metrics.sanitizer import install_sanitizer
+from repro.net import FixedLatency
+from repro.proc import Environment
+from repro.runtime import AsyncioRuntime, SimRuntime
+
+from tests.test_perf_determinism import (
+    FROZEN_BYTES,
+    FROZEN_DELIVERIES,
+    FROZEN_EVENTS,
+    FROZEN_MESSAGES,
+    run_flat_churn_scenario,
+)
+
+
+def per_sender(deliveries):
+    """Collapse a receiver's delivery log to {sender: [payloads]}."""
+    out = {}
+    for sender, payload in deliveries:
+        out.setdefault(sender, []).append(payload)
+    return out
+
+
+# ------------------------------------------------------------- flat group
+
+
+def run_flat_scenario(runtime):
+    """Four members, traffic in all three orderings, staggered senders.
+
+    Returns (final views, {receiver: {sender: [payloads]}}, sanitizer
+    counters).  The runtime is closed by the caller.
+    """
+    env = Environment(latency=FixedLatency(0.002), runtime=runtime)
+    _nodes, members = build_group(env, "g", 4)
+    sanitizer = install_sanitizer(members)
+
+    logs = {m.me: [] for m in members}
+
+    def record(me):
+        return lambda event: logs[me].append((event.sender, event.payload))
+
+    for member in members:
+        member.add_delivery_listener(record(member.me))
+
+    # Each sender's burst is FIFO-ordered by the protocol, so its
+    # sequence is engine-independent even though bursts interleave.
+    traffic = [
+        (0.10, members[0], FIFO, ("f0", "f1", "f2")),
+        (0.15, members[1], CAUSAL, ("c0", "c1")),
+        (0.20, members[2], TOTAL, ("t0", "t1")),
+        (0.25, members[3], FIFO, ("g0", "g1")),
+    ]
+    for start, member, ordering, payloads in traffic:
+        def burst(member=member, ordering=ordering, payloads=payloads):
+            for payload in payloads:
+                member.multicast(payload, ordering)
+        env.scheduler.after(start, burst)
+
+    env.run_for(2.0)
+    counters = sanitizer.check(at_quiescence=True)
+    views = {m.me: m.members for m in members}
+    return views, {me: per_sender(log) for me, log in logs.items()}, counters
+
+
+def test_flat_group_parity():
+    sim_views, sim_seqs, sim_counters = run_flat_scenario(SimRuntime(seed=7))
+
+    runtime = AsyncioRuntime(seed=7, time_scale=0.05)
+    try:
+        live_views, live_seqs, live_counters = run_flat_scenario(runtime)
+    finally:
+        runtime.close()
+
+    assert sim_views == live_views
+    assert set(sim_views) == {"g-0", "g-1", "g-2", "g-3"}
+    assert sim_seqs == live_seqs
+    # Every receiver saw every burst, in sender order.
+    for receiver, seqs in sim_seqs.items():
+        assert seqs["g-0"] == ["f0", "f1", "f2"], receiver
+        assert seqs["g-3"] == ["g0", "g1"], receiver
+    # Both engines actually tracked deliveries (sanitizer was live).
+    assert sim_counters["deliveries_checked"] > 0
+    assert live_counters["deliveries_checked"] > 0
+
+
+# ---------------------------------------------------------- hierarchical
+
+
+def run_hier_scenario(runtime):
+    """A small hierarchical service: 2 leaders, 6 workers, leaf traffic.
+
+    Joins are staggered far apart (0.2 logical seconds) so placement —
+    which depends on the order the leader processes joins — is the same
+    under wall-clock arrival jitter as under the simulator.
+    """
+    env = Environment(latency=FixedLatency(0.002), runtime=runtime)
+    params = LargeGroupParams(resiliency=2, fanout=3)
+    leaders = build_leader_group(env, "svc", params)
+    contacts = tuple(r.node.address for r in leaders)
+    members = build_large_group(
+        env, "svc", 6, params, contacts, join_stagger=0.2
+    )
+    env.run_for(4.0)
+
+    placed = [m for m in members if m.is_member]
+    sanitizer = install_sanitizer(m.leaf_member for m in placed)
+
+    logs = {m.me: [] for m in placed}
+
+    def record(me):
+        return lambda event: logs[me].append((event.sender, event.payload))
+
+    for member in placed:
+        member.add_delivery_listener(record(member.me))
+
+    # One sender per leaf half: each burst fans out to that leaf only.
+    senders = [placed[0], placed[-1]]
+    for offset, sender in enumerate(senders):
+        def burst(sender=sender, offset=offset):
+            for i in range(3):
+                sender.leaf_multicast(f"{sender.me}/m{i}", FIFO)
+        env.scheduler.after(0.1 + 0.2 * offset, burst)
+
+    env.run_for(3.0)
+    counters = sanitizer.check(at_quiescence=True)
+    placement = {
+        m.me: (m.leaf_member.group, m.leaf_member.members) for m in placed
+    }
+    return placement, {me: per_sender(log) for me, log in logs.items()}, counters
+
+
+def test_hierarchical_parity():
+    sim_place, sim_seqs, sim_counters = run_hier_scenario(SimRuntime(seed=11))
+
+    runtime = AsyncioRuntime(seed=11, time_scale=0.1)
+    try:
+        live_place, live_seqs, live_counters = run_hier_scenario(runtime)
+    finally:
+        runtime.close()
+
+    # All six workers were placed, identically, on both engines.
+    assert len(sim_place) == 6
+    assert sim_place == live_place
+    assert sim_seqs == live_seqs
+    # Each sender's leaf peers saw its burst in send order.
+    for placement, seqs in ((sim_place, sim_seqs), (live_place, live_seqs)):
+        for sender in (min(placement), max(placement)):
+            _leaf, peers = placement[sender]
+            expected = [f"{sender}/m{i}" for i in range(3)]
+            senders_burst = [
+                seqs[p].get(sender) for p in peers if p in seqs
+            ]
+            assert all(got == expected for got in senders_burst), sender
+    assert sim_counters["deliveries_checked"] > 0
+    assert live_counters["deliveries_checked"] > 0
+
+
+# ------------------------------------------------------ wall-clock smoke
+
+
+@pytest.mark.asyncio_smoke
+def test_live_demo_cli_smoke():
+    """Tier-1 gate for `make smoke-asyncio`: the wall-clock hierarchical
+    demo completes sanitizer-clean well inside the 60 s hard timeout."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo_root, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "live", "--workers", "6"],
+        cwd=repo_root,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "sanitizer-clean" in proc.stdout
+
+
+# ------------------------------------------------- sim adapter is exact
+
+
+def test_sim_runtime_is_the_default_engine():
+    """Environment(seed=s) and Environment(runtime=SimRuntime(s)) are the
+    same machine: identical delivery digests for a non-trivial run."""
+
+    def digest_for(**env_kwargs):
+        env = Environment(latency=FixedLatency(0.002), **env_kwargs)
+        _nodes, members = build_group(env, "g", 5)
+        digest = DeliveryDigest(env.network)
+        env.scheduler.after(0.1, lambda: members[1].multicast("a", TOTAL))
+        env.scheduler.after(0.2, lambda: members[3].multicast("b", CAUSAL))
+        env.run_for(2.0)
+        return digest.hexdigest(), digest.count, env.scheduler.events_processed
+
+    assert digest_for(seed=13) == digest_for(runtime=SimRuntime(seed=13))
+
+
+def test_sim_runtime_reproduces_frozen_baselines():
+    """The adapter must not perturb the PR-1 frozen determinism guard:
+    the flat churn scenario's machine-independent counters still match."""
+    _digest, deliveries, snapshot, events, now = run_flat_churn_scenario(23)
+    assert deliveries == FROZEN_DELIVERIES
+    assert snapshot.messages == FROZEN_MESSAGES
+    assert snapshot.bytes == FROZEN_BYTES
+    assert events == FROZEN_EVENTS
+    assert now == 8.0

@@ -50,6 +50,9 @@ def _context_for(path: str) -> LintContext:
         is_protocol=package in PROTOCOL_PACKAGES,
         allow_random=posix.endswith("sim/rand.py"),
         allow_scheduler_internals=posix.endswith("sim/scheduler.py"),
+        # RL009 boundary: the simulator itself and the runtime backends
+        # are the only homes of repro.sim imports.
+        allow_sim_import=package in ("sim", "runtime"),
     )
 
 

@@ -21,7 +21,11 @@ delivery digests):
 * the event heap is owned by the scheduler alone (RL007);
 * protocol code reaches the causal tracer only through the guarded
   ``network.trace`` sink — never the collector or span internals
-  (RL008), so tracing stays observation-only and zero-cost when off.
+  (RL008), so tracing stays observation-only and zero-cost when off;
+* the protocol stack is engine-agnostic: only ``repro/sim/`` itself and
+  the runtime backends in ``repro/runtime/`` may import ``repro.sim``
+  (RL009) — everything else programs against the engine contract in
+  :mod:`repro.runtime.api`.
 """
 
 from __future__ import annotations
@@ -59,6 +63,9 @@ class LintContext:
     is_protocol: bool  # inside a protocol package (ordering-sensitive)
     allow_random: bool  # sim/rand.py: the one home of stdlib random
     allow_scheduler_internals: bool  # sim/scheduler.py itself
+    # repro/sim/ and repro/runtime/: the only packages that may import
+    # the simulator (RL009 boundary).
+    allow_sim_import: bool = False
 
 
 class Rule(ast.NodeVisitor):
@@ -470,6 +477,54 @@ class TraceInternalsRule(Rule):
         self.generic_visit(node)
 
 
+class SimImportRule(Rule):
+    """RL009: the engine boundary — ``repro.sim`` is an implementation
+    detail of the default backend.
+
+    The protocol stack (processes, network, transport, membership,
+    broadcast, hierarchy, toolkit, workloads, metrics) programs against
+    the engine contract in :mod:`repro.runtime.api`; only ``repro/sim/``
+    itself and the backends under ``repro/runtime/`` may import
+    ``repro.sim``.  Anything else importing the simulator re-welds the
+    stack to one engine and silently breaks the wall-clock backend.
+    """
+
+    code = "RL009"
+    title = "repro.sim imported outside repro/sim/ and repro/runtime/"
+    hint = (
+        "program against the engine contract: import SimRandom and the "
+        "TimerService/MessageFabric protocols from repro.runtime, and "
+        "reach timers via env.scheduler — only runtime backends may "
+        "import repro.sim"
+    )
+
+    @staticmethod
+    def _is_sim_module(name: Optional[str]) -> bool:
+        return name is not None and (
+            name == "repro.sim" or name.startswith("repro.sim.")
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.ctx.allow_sim_import:
+            return
+        for alias in node.names:
+            if self._is_sim_module(alias.name):
+                self.flag(node, f"import of simulator module '{alias.name}'")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.ctx.allow_sim_import:
+            return
+        module = node.module or ""
+        if self._is_sim_module(module):
+            self.flag(node, f"import from simulator module '{module}'")
+        elif module == "repro":
+            for alias in node.names:
+                if alias.name == "sim":
+                    self.flag(node, "import of the simulator package")
+        self.generic_visit(node)
+
+
 ALL_RULES = (
     WallClockRule,
     StdlibRandomRule,
@@ -479,6 +534,7 @@ ALL_RULES = (
     FloatTimeEqualityRule,
     SchedulerInternalsRule,
     TraceInternalsRule,
+    SimImportRule,
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

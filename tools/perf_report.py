@@ -71,6 +71,67 @@ def _heartbeat_factory(node):
     )
 
 
+def capture_experiment_tables(out_path: str) -> int:
+    """Regenerate the experiment-table capture (``--tables``).
+
+    Runs the benchmark suite once with the timing loop disabled (the
+    tables report protocol costs — message counts, latencies, bounds —
+    not wall-clock, so one pass suffices) under a pinned hash seed, then
+    extracts every ``== title ==`` table from the output.  This is how
+    ``docs/bench_tables.txt`` is produced; the raw pytest capture at the
+    repo root is a scratch artifact and is gitignored.
+    """
+    import subprocess
+
+    env = dict(os.environ, PYTHONHASHSEED="0")
+    src = os.path.join(os.getcwd(), "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks",
+            "-q",
+            "-s",
+            "--benchmark-disable",
+            "-p",
+            "no:randomly",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout + proc.stderr)
+        print("perf_report: benchmark run failed; tables not written")
+        return 1
+    tables: List[str] = []
+    block: List[str] = []
+    for line in proc.stdout.splitlines():
+        if line.startswith("== ") and line.rstrip().endswith("=="):
+            block = [line.rstrip()]
+        elif block:
+            if line.strip() in ("", "."):
+                tables.append("\n".join(block))
+                block = []
+            else:
+                block.append(line.rstrip())
+    if block:
+        tables.append("\n".join(block))
+    header = (
+        "Experiment tables from the benchmark suite (PYTHONHASHSEED=0).\n"
+        "Regenerate with `make bench-tables`; see EXPERIMENTS.md for the\n"
+        "narrative around each table.\n"
+    )
+    with open(out_path, "w") as fh:
+        fh.write(header + "\n" + "\n\n".join(tables) + "\n")
+    print(f"perf_report: wrote {len(tables)} table(s) to {out_path}")
+    return 0
+
+
 def pin_hash_seed() -> None:
     """Re-exec with ``PYTHONHASHSEED=0`` so fingerprints are comparable.
 
@@ -371,7 +432,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run repro-lint on src/repro first; refuse to benchmark a "
         "tree with determinism regressions",
     )
+    parser.add_argument(
+        "--tables",
+        metavar="PATH",
+        help="instead of benchmarking, regenerate the experiment-table "
+        "capture (docs/bench_tables.txt) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.tables:
+        return capture_experiment_tables(args.tables)
 
     if args.lint:
         # Benchmark numbers (and their behaviour fingerprints) are only
