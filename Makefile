@@ -1,14 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline sanitize smoke-asyncio trace bench bench-report bench-quick bench-tables perf-smoke clean
+.PHONY: test lint lint-baseline sanitize smoke-asyncio trace bench bench-report bench-quick bench-tables bench-comm perf-smoke clean
 
 ## Tier-1: unit + integration tests (includes the quick perf smoke and
 ## the asyncio backend smoke, marker: asyncio_smoke).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Static determinism & protocol-safety analysis (tools/lint, RL001…RL009).
+## Static determinism & protocol-safety analysis (tools/lint, RL001…RL010).
 lint:
 	$(PYTHON) -m tools.lint src/repro
 
@@ -45,6 +45,13 @@ bench-report:
 ## Fast variant of the perf suite for local iteration (no JSON merge).
 bench-quick:
 	$(PYTHON) -m tools.perf_report --quick --label quick --out /dev/null
+
+## Wire-packing/piggyback report (docs/comms.md): packing on vs off over
+## byte-identical hierarchical steady-state windows, the comms-off
+## fingerprint guard against BENCH_core.json, and the sanitizer sweep on
+## both engines.  Writes BENCH_comm.json.
+bench-comm:
+	$(PYTHON) -m tools.perf_report --comm
 
 ## Regenerate the experiment-table capture under docs/ (single pass,
 ## timing loop disabled, hash seed pinned).  A root-level

@@ -1,0 +1,95 @@
+"""Comms — wire-level packing + piggybacked control traffic (docs/comms.md).
+
+ISIS's transport packed small messages issued close together into one
+wire packet and piggybacked acknowledgement/stability information on
+outgoing traffic; the paper's large-group design assumes exactly this
+kind of amortisation to keep per-member overhead flat.  This benchmark
+measures the reproduction's version of it: the steady-state hierarchical
+service (``hier_steady`` of ``BENCH_core.json``) runs once with the
+default all-off :class:`~repro.net.packer.CommsParams` and once with
+every optimisation on, over byte-identical measurement windows.
+
+The claims held to account:
+
+* wire packets shrink by >= 30% in hierarchical steady state;
+* *logical* per-category message counts are identical — packing and
+  piggybacking change only the wire, never the protocol;
+* the same simulated window costs less wall-clock with packing on.
+
+Run as a module to (re)generate ``BENCH_comm.json``::
+
+    PYTHONPATH=src python -m tools.perf_report --comm
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from repro.net.packer import CommsParams
+
+from repro.metrics import print_table
+
+
+def run_experiment():
+    from tools.perf_report import COMM_SIZES, _comm_measure
+
+    comms_on = CommsParams.enabled(latency_floor=0.002)
+    rows = []
+    # Quick size only: the n=256 point lives in BENCH_comm.json (full
+    # suite), regenerated via `make bench-comm`.
+    for n, sim_s in COMM_SIZES[:1]:
+        off = _comm_measure(n, sim_s, comms=None)
+        on = _comm_measure(n, sim_s, comms=comms_on)
+        assert off["logical_by_category"] == on["logical_by_category"], (
+            "comms optimisations changed logical message counts"
+        )
+        reduction = 1.0 - on["wire_packets"] / off["wire_packets"]
+        assert reduction >= 0.30, f"wire-packet reduction {reduction:.1%} < 30%"
+        rows.append(
+            (
+                n,
+                off["wire_packets"],
+                on["wire_packets"],
+                f"{reduction:.1%}",
+                on["heartbeats_suppressed"],
+                on["piggybacked"].get("ack", 0),
+                f"{1.0 - on['wire_bytes'] / off['wire_bytes']:.1%}",
+            )
+        )
+    return rows
+
+
+def test_comm_packing_reduction(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "Comms: wire packets, packing+piggybacking off vs on (hier steady state)",
+        [
+            "n",
+            "wire pkts off",
+            "wire pkts on",
+            "reduction",
+            "hb suppressed",
+            "acks ridden",
+            "bytes saved",
+        ],
+        rows,
+        note="same logical messages per category; packing coalesces "
+        "datagrams within the pack window, acks/gossip ride on data, "
+        "heartbeats yield to ambient traffic",
+    )
+
+
+if __name__ == "__main__":
+    import os
+
+    # Fingerprints are only comparable under a pinned hash seed (see
+    # tools.perf_report.pin_hash_seed); re-exec *this* script so the
+    # --comm flag survives the pinning hop.
+    if os.environ.get("PYTHONHASHSEED") != "0":
+        env = dict(os.environ, PYTHONHASHSEED="0")
+        os.execve(sys.executable, [sys.executable] + sys.argv, env)
+    from tools.perf_report import main
+
+    raise SystemExit(main(["--comm"]))

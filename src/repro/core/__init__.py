@@ -41,7 +41,7 @@ from repro.core.naming import (
     UnregisterName,
     build_name_service,
 )
-from repro.core.params import LargeGroupParams
+from repro.core.params import CommsParams, LargeGroupParams
 from repro.core.router import ServiceRouter
 from repro.core.treecast import (
     TreeBroadcastRequest,
@@ -64,6 +64,7 @@ from repro.core.views import (
 __all__ = [
     "AddLeaf",
     "BranchInfo",
+    "CommsParams",
     "GetHierarchyInfo",
     "GetLeafAssignment",
     "HierarchyError",

@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.clocks.vector import VectorClock
 from repro.membership.view import GroupView
-from repro.net.message import Address
+from repro.net.message import Address, DEFAULT_PAYLOAD_BYTES
 
 # Orderings a multicast can request.  FIFO is the paper's fbcast, CAUSAL is
 # cbcast, TOTAL is abcast.
@@ -29,7 +29,13 @@ MessageId = Tuple[Address, int]
 
 @dataclass
 class GroupData:
-    """An application multicast within one view of one group."""
+    """An application multicast within one view of one group.
+
+    When gossip piggybacking is on (docs/comms.md), outgoing data can
+    additionally carry the sender's stability watermarks in ``gossip`` —
+    the same per-sender delivered map a standalone
+    :class:`StabilityGossip` would have sent, added to the frame size.
+    """
 
     category = "group-data"
     group: str
@@ -39,10 +45,18 @@ class GroupData:
     ordering: str
     payload: Any
     stamp: Optional[VectorClock] = None  # set for CAUSAL
+    gossip: Optional[Dict[Address, int]] = None
 
     @property
     def message_id(self) -> MessageId:
         return (self.sender, self.sender_seq)
+
+    @property
+    def size_bytes(self) -> int:
+        size = DEFAULT_PAYLOAD_BYTES
+        if self.gossip:
+            size += 12 * len(self.gossip)  # riding watermark entries
+        return size
 
 
 @dataclass

@@ -17,11 +17,13 @@ from repro.net.message import (
     payload_size,
 )
 from repro.net.network import Network
+from repro.net.packer import CommsParams, Packer, default_pack_window
 from repro.net.partition import PartitionManager
 from repro.net.stats import NetworkStats, StatsSnapshot
 
 __all__ = [
     "Address",
+    "CommsParams",
     "DEFAULT_PAYLOAD_BYTES",
     "Envelope",
     "FixedLatency",
@@ -30,10 +32,12 @@ __all__ = [
     "LatencyModel",
     "Network",
     "NetworkStats",
+    "Packer",
     "PartitionManager",
     "SiteLatency",
     "StatsSnapshot",
     "UniformLatency",
+    "default_pack_window",
     "payload_category",
     "payload_meta",
     "payload_size",

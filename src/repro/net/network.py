@@ -34,6 +34,7 @@ from repro.net.message import (
     HEADER_BYTES,
     payload_meta,
 )
+from repro.net.packer import Packer
 from repro.net.partition import PartitionManager
 from repro.net.stats import NetworkStats
 from repro.runtime.api import MessageFabric, SimRandom, TimerService
@@ -61,11 +62,14 @@ class Network:
         duplicate_probability: float = 0.0,
         hardware_multicast: bool = False,
         fabric: Optional[MessageFabric] = None,
+        pack_window: float = 0.0,
     ) -> None:
         if not 0 <= drop_probability < 1:
             raise ValueError("drop_probability must be in [0, 1)")
         if not 0 <= duplicate_probability < 1:
             raise ValueError("duplicate_probability must be in [0, 1)")
+        if pack_window < 0:
+            raise ValueError("pack_window must be nonnegative")
         self._fabric = fabric if fabric is not None else timers
         self._rng = rng
         self._latency = latency if latency is not None else FixedLatency(0.001)
@@ -75,12 +79,28 @@ class Network:
         self._endpoints: Dict[Address, DeliverFn] = {}
         self.partitions = PartitionManager()
         self.stats = NetworkStats()
+        # Wire-level packing (docs/comms.md): with a positive window,
+        # unicast datagrams are held briefly and coalesced per
+        # destination into one wire packet with a shared header.  Window
+        # 0 (the default) keeps the classic one-datagram-one-packet path
+        # below, byte-identical to the frozen baselines.
+        self.pack_window = pack_window
+        self._packer: Optional[Packer] = (
+            Packer(pack_window, self._fabric, self._flush_packed)
+            if pack_window > 0
+            else None
+        )
         self._taps: list = []
         # Causal tracing sink (repro.trace.api.TraceSink) or None when
         # tracing is off.  Installed by repro.trace.api.attach(); every
         # hook below is guarded by one attribute load + None check, which
         # is the entire disabled-path cost.
         self.trace = None
+
+    @property
+    def packer(self) -> Optional[Packer]:
+        """The packing queue when ``pack_window > 0``, else ``None``."""
+        return self._packer
 
     # -- observation -----------------------------------------------------------
 
@@ -128,22 +148,30 @@ class Network:
         """Send the same payload to several destinations.
 
         Counts one logical message per destination.  Wire packets: one per
-        destination point-to-point, or one total under hardware multicast.
+        destination point-to-point, or one total under hardware multicast —
+        counted only if at least one transmit reached the latency stage
+        (a multicast with every destination partitioned away never makes
+        it onto the wire).
         """
         dst_list = list(dsts)
         if not dst_list:
             return
         if self.hardware_multicast:
-            self.stats.record_wire(1)
-            per_message_wire = 0
+            reached = False
+            for dst in dst_list:
+                if self._transmit(src, dst, payload, wire_packets=0):
+                    reached = True
+            if reached:
+                self.stats.record_wire(1)
         else:
-            per_message_wire = 1
-        for dst in dst_list:
-            self._transmit(src, dst, payload, wire_packets=per_message_wire)
+            for dst in dst_list:
+                self._transmit(src, dst, payload, wire_packets=1)
 
     def _transmit(
         self, src: Address, dst: Address, payload: Any, wire_packets: int
-    ) -> None:
+    ) -> bool:
+        """Send one datagram; True if it reached the latency stage (i.e.
+        was actually put in flight rather than partitioned or lost)."""
         # Hot path: one envelope per datagram, shared by the send tap and
         # the delivery event; scheduled as (bound method, envelope) so no
         # closure is allocated per datagram.
@@ -151,7 +179,8 @@ class Network:
         total = size + HEADER_BYTES
         stats = self.stats
         stats.record_send(src, category, total)
-        if wire_packets:
+        packer = self._packer
+        if wire_packets and packer is None:
             stats.record_wire(wire_packets)
         fabric = self._fabric
         now = fabric.now
@@ -163,11 +192,22 @@ class Network:
             trace.on_send(envelope, category)
         if not self.partitions.reachable(src, dst):
             self._drop(envelope)
-            return
+            return False
         rng = self._rng
         if rng.chance(self.drop_probability):
             self._drop(envelope)
-            return
+            return False
+        if wire_packets and packer is not None:
+            # Packing on: hold the datagram for the pack window; wire
+            # accounting and the (single, shared) latency draw happen at
+            # flush.  Partition/loss above stay per logical message, so
+            # delivery semantics are untouched.
+            packer.enqueue(envelope)
+            if rng.chance(self.duplicate_probability):
+                duplicate = Envelope(src, dst, payload, now, 0.0, size)
+                duplicate.trace = envelope.trace
+                packer.enqueue(duplicate)
+            return True
         delay = self._latency.sample(rng, src, dst, total)
         envelope.deliver_time = now + delay
         fabric.at_call(envelope.deliver_time, self._deliver, envelope)
@@ -179,6 +219,39 @@ class Network:
             # Both copies stem from the same logical send span.
             duplicate.trace = envelope.trace
             fabric.at_call(duplicate.deliver_time, self._deliver, duplicate)
+        return True
+
+    def _flush_packed(
+        self, src: Address, dst: Address, envelopes: list
+    ) -> None:
+        """Put one coalesced wire packet in flight: a shared header, one
+        latency draw over the combined frame, one scheduled delivery
+        event that fans back out into per-datagram deliveries."""
+        stats = self.stats
+        stats.record_wire(1)
+        count = len(envelopes)
+        total = HEADER_BYTES
+        for envelope in envelopes:
+            total += envelope.size_bytes
+        if count > 1:
+            stats.record_packed(count, (count - 1) * HEADER_BYTES)
+        fabric = self._fabric
+        delay = self._latency.sample(self._rng, src, dst, total)
+        deliver_time = fabric.now + delay
+        for envelope in envelopes:
+            envelope.deliver_time = deliver_time
+        if count == 1:
+            fabric.at_call(deliver_time, self._deliver, envelopes[0])
+        else:
+            fabric.at_call(deliver_time, self._deliver_packed, envelopes)
+
+    def _deliver_packed(self, envelopes: list) -> None:
+        # Unpack: each coalesced datagram keeps its own envelope (and its
+        # own trace span), so upper layers and the tracer see exactly the
+        # per-logical-message events they would without packing.
+        deliver = self._deliver
+        for envelope in envelopes:
+            deliver(envelope)
 
     def _drop(self, envelope: Envelope) -> None:
         self.stats.record_drop()

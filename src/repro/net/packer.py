@@ -1,0 +1,154 @@
+"""Wire-level message packing and the comms-optimisation knobs.
+
+The real ISIS toolkit survived its own message traffic largely through
+two transport tricks the paper's cost model takes for granted: *packing*
+(datagrams issued close together toward the same destination share one
+wire packet and one header) and *piggybacking* (acks, stability
+watermarks and liveness evidence ride on traffic that is leaving
+anyway).  This module provides both the packing queue used by
+:class:`~repro.net.network.Network` and the :class:`CommsParams` bundle
+that switches every such optimisation on or off for a run.
+
+The contract all of them share: **logical message counts and delivery
+semantics are unchanged** — one send still produces one delivery to its
+destination, in the same circumstances.  Only wire packets, header bytes
+and scheduled delivery events shrink.  Everything defaults *off*, which
+is bit-for-bit today's behaviour (the frozen determinism digests and
+``BENCH_core.json`` fingerprints are recorded with these defaults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set
+
+from repro.net.message import Address, Envelope
+from repro.runtime.api import MessageFabric
+
+
+@dataclass(frozen=True)
+class CommsParams:
+    """Per-run comms-optimisation switches (see docs/comms.md).
+
+    ``pack_window``
+        Seconds the network may hold an outgoing datagram to coalesce it
+        with others for the same destination into one wire packet.
+        ``0`` disables packing (every datagram is its own wire packet).
+
+    ``delayed_ack``
+        Seconds the reliable transport may defer a cumulative ack,
+        waiting for a reverse-direction segment to carry it; ``0`` means
+        every received segment is acked immediately with a standalone
+        :class:`~repro.transport.channel.SegmentAck`.  Must stay well
+        under the transport RTO or delayed acks would trigger spurious
+        retransmissions.
+
+    ``gossip_piggyback``
+        Attach stability watermarks to outgoing group data (at most once
+        per half gossip interval), demoting the periodic all-to-all
+        :class:`~repro.membership.events.StabilityGossip` to an idle
+        fallback.
+
+    ``heartbeat_suppression``
+        Skip a heartbeat ping when *any* packet from the watched peer
+        arrived within the heartbeat interval — existing traffic is
+        liveness evidence.  A silent peer is still pinged (and still
+        acks), so one-way traffic patterns keep proving liveness.
+    """
+
+    pack_window: float = 0.0
+    delayed_ack: float = 0.0
+    gossip_piggyback: bool = False
+    heartbeat_suppression: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pack_window < 0:
+            raise ValueError("pack_window must be nonnegative")
+        if self.delayed_ack < 0:
+            raise ValueError("delayed_ack must be nonnegative")
+
+    @classmethod
+    def enabled(cls, latency_floor: float = 0.002) -> "CommsParams":
+        """All optimisations on, tuned for a given latency floor: the
+        pack window defaults to a quarter of the floor (holding a packet
+        any longer would be visible next to the wire delay itself)."""
+        return cls(
+            pack_window=default_pack_window(latency_floor),
+            delayed_ack=0.01,
+            gossip_piggyback=True,
+            heartbeat_suppression=True,
+        )
+
+
+def default_pack_window(latency_floor: float) -> float:
+    """Default packing window: a quarter of the network's latency floor."""
+    if latency_floor <= 0:
+        return 0.0
+    return latency_floor * 0.25
+
+
+FlushFn = Callable[[Address, Address, List[Envelope]], None]
+
+
+class Packer:
+    """Per-(src, dst) outgoing queues with a shared per-source flush timer.
+
+    Datagrams a source issues within ``window`` seconds are queued; one
+    timer per source (not per destination — a heartbeat tick toward k
+    peers costs one flush event, not k) then hands each destination's
+    batch to ``flush_fn(src, dst, envelopes)``, which puts it on the
+    wire as a single packet.  Queues are plain dicts, so flush order is
+    enqueue order — deterministic under the sim engine.
+    """
+
+    __slots__ = ("window", "_fabric", "_flush_fn", "_queues", "_armed")
+
+    def __init__(
+        self, window: float, fabric: MessageFabric, flush_fn: FlushFn
+    ) -> None:
+        if window <= 0:
+            raise ValueError("packer window must be positive")
+        self.window = window
+        self._fabric = fabric
+        self._flush_fn = flush_fn
+        self._queues: Dict[Address, Dict[Address, List[Envelope]]] = {}
+        self._armed: Set[Address] = set()
+
+    def enqueue(self, envelope: Envelope) -> None:
+        """Queue a datagram that already passed partition/loss checks."""
+        src = envelope.src
+        queues = self._queues.get(src)
+        if queues is None:
+            queues = self._queues[src] = {}
+        queue = queues.get(envelope.dst)
+        if queue is None:
+            queues[envelope.dst] = [envelope]
+        else:
+            queue.append(envelope)
+        if src not in self._armed:
+            self._armed.add(src)
+            fabric = self._fabric
+            fabric.at_call(fabric.now + self.window, self._flush_src, src)
+
+    def _flush_src(self, src: Address) -> None:
+        self._armed.discard(src)
+        queues = self._queues.pop(src, None)
+        if not queues:
+            return
+        flush = self._flush_fn
+        for dst, envelopes in queues.items():
+            flush(src, dst, envelopes)
+
+    @property
+    def pending(self) -> int:
+        """Datagrams currently held for coalescing (for tests/drain)."""
+        return sum(
+            len(queue)
+            for queues in self._queues.values()
+            for queue in queues.values()
+        )
+
+    def flush_all(self) -> None:
+        """Force every queue onto the wire now (teardown helper)."""
+        for src in list(self._queues):
+            self._flush_src(src)

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, Optional, TYPE_CHECKING
 
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
+from repro.net.packer import CommsParams
 from repro.net.stats import StatsSnapshot
 from repro.runtime.api import Runtime
 from repro.runtime.sim_backend import SimRuntime
@@ -42,6 +43,7 @@ class Environment:
         duplicate_probability: float = 0.0,
         hardware_multicast: bool = False,
         runtime: Optional[Runtime] = None,
+        comms: Optional[CommsParams] = None,
     ) -> None:
         # ``seed`` feeds the default sim engine; an explicitly supplied
         # runtime brings its own root RNG (one seed per run, regardless
@@ -52,6 +54,11 @@ class Environment:
         # every layer reaches timers through ``env.scheduler``, and under
         # SimRuntime this is literally the Scheduler instance.
         self.scheduler = self.runtime.timers
+        # Comms-optimisation knobs (docs/comms.md): packing + piggyback
+        # switches read by the network here and by the transport,
+        # stability and failure-detection layers at attach time.  The
+        # default (all off) is the frozen-baseline behaviour.
+        self.comms = comms if comms is not None else CommsParams()
         self.network = Network(
             self.scheduler,
             self.rng.fork("network"),
@@ -60,6 +67,7 @@ class Environment:
             duplicate_probability=duplicate_probability,
             hardware_multicast=hardware_multicast,
             fabric=self.runtime.fabric,
+            pack_window=self.comms.pack_window,
         )
         self._processes: Dict[str, "Process"] = {}
         self._crash_listeners: list = []

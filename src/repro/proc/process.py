@@ -62,6 +62,13 @@ class Timer:
             # callback schedules at the same instant order after the next
             # tick, exactly as the closure-per-tick implementation did).
             self._process.env.scheduler.rearm(self._handle, self._delay)
+        else:
+            # A fired one-shot timer is dead: mark it cancelled so the
+            # owner's prune sweep can drop it.  Timer-heavy features
+            # (delayed acks) create thousands of one-shots per process;
+            # without this they survive every prune and the sweep goes
+            # quadratic.
+            self._cancelled = True
         self._fn()
 
     def cancel(self) -> None:
@@ -89,6 +96,7 @@ class Process:
         self._handlers: Dict[Type, Handler] = {}
         self._timers: List[Timer] = []
         self._recover_listeners: List[Callable[[], None]] = []
+        self._traffic_listeners: List[Callable[[Address], None]] = []
         self._unhandled: List[Any] = []
         env.add_process(self)
         env.network.register(address, self._on_envelope)
@@ -124,7 +132,18 @@ class Process:
     def _on_envelope(self, envelope: Envelope) -> None:
         if not self.alive:
             return
+        if self._traffic_listeners:
+            # Passive liveness evidence (docs/comms.md): *any* inbound
+            # datagram proves its sender was up when it was sent, which
+            # lets the failure detector skip redundant heartbeats.
+            for fn in self._traffic_listeners:
+                fn(envelope.src)
         self.deliver(envelope.payload, envelope.src)
+
+    def add_traffic_listener(self, fn: Callable[[Address], None]) -> None:
+        """Register ``fn(src)`` to observe every inbound datagram's sender
+        (before dispatch).  Listeners must be cheap and must not send."""
+        self._traffic_listeners.append(fn)
 
     def deliver(self, payload: Any, sender: Address) -> None:
         """Dispatch a payload to its registered handler (or ``unhandled``)."""

@@ -15,7 +15,7 @@ black-holed by sequence numbers from its previous life.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -25,12 +25,19 @@ class Segment:
     Statistics transparency: a segment reports its *inner* payload's
     category and size, so protocol-level message accounting (flush
     messages, group data, ...) is unaffected by the transport wrapping.
+
+    When the comms optimisations are on (docs/comms.md) a segment can
+    additionally carry a piggybacked cumulative ack for the *reverse*
+    channel — ``ack_cum_seq``/``ack_epoch`` mirror a standalone
+    :class:`SegmentAck` and add its bytes to the frame when present.
     """
 
     seq: int
     payload: Any
     incarnation: int = 0
     epoch: int = 0
+    ack_cum_seq: Optional[int] = None
+    ack_epoch: int = 0
 
     @property
     def category(self) -> str:
@@ -42,7 +49,10 @@ class Segment:
     def size_bytes(self) -> int:
         from repro.net.message import payload_size
 
-        return payload_size(self.payload) + 16  # seq-number overhead
+        size = payload_size(self.payload) + 16  # seq-number overhead
+        if self.ack_cum_seq is not None:
+            size += SegmentAck.size_bytes  # ack riding in the header
+        return size
 
     @property
     def channel_id(self) -> Tuple[int, int]:

@@ -25,7 +25,7 @@ fast for any failure detector to notice.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable
+from typing import Any, Dict, Iterable, Optional
 
 from repro.net.message import Address
 from repro.proc.process import Process
@@ -35,16 +35,42 @@ DEFAULT_RTO = 0.05
 
 
 class ReliableTransport:
-    """Per-peer reliable FIFO channels multiplexed onto one process."""
+    """Per-peer reliable FIFO channels multiplexed onto one process.
 
-    def __init__(self, process: Process, rto: float = DEFAULT_RTO) -> None:
+    With a positive ``ack_delay`` (docs/comms.md; default comes from the
+    environment's :class:`~repro.net.packer.CommsParams`), acks are not
+    sent immediately per segment: they ride on the next outgoing segment
+    to the same peer, and only if the reverse direction stays idle for
+    ``ack_delay`` does a standalone cumulative :class:`SegmentAck` go
+    out.  ``ack_delay`` must stay well below ``rto`` so a delayed ack can
+    never provoke a spurious retransmission.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        rto: float = DEFAULT_RTO,
+        ack_delay: Optional[float] = None,
+    ) -> None:
         if rto <= 0:
             raise ValueError("rto must be positive")
+        if ack_delay is None:
+            comms = getattr(process.env, "comms", None)
+            ack_delay = comms.delayed_ack if comms is not None else 0.0
+        if ack_delay < 0:
+            raise ValueError("ack_delay must be nonnegative")
+        if ack_delay >= rto:
+            raise ValueError("ack_delay must stay below rto")
         self._process = process
         self._rto = rto
+        self._ack_delay = ack_delay
         self._send: Dict[Address, SendState] = {}
         self._recv: Dict[Address, ReceiveState] = {}
         self._peer_incarnation: Dict[Address, int] = {}
+        # Delayed-ack state: segments received per peer since the last
+        # ack (standalone or ridden), and the idle-fallback timer.
+        self._ack_pending: Dict[Address, int] = {}
+        self._ack_timers: Dict[Address, Any] = {}
         process.on(Segment, self._on_segment)
         process.on(SegmentAck, self._on_ack)
         process.every(rto, self._retransmit_sweep)
@@ -60,7 +86,7 @@ class ReliableTransport:
         """Reliably send ``payload`` to ``dst`` (FIFO per destination)."""
         state = self._send.setdefault(dst, SendState())
         segment = state.admit(payload, self._process.env.now, self._incarnation)
-        self._process.send(dst, segment)
+        self._send_segment(dst, segment)
 
     def send_many(self, dsts: Iterable[Address], payload: Any) -> None:
         """Reliable 'multicast': an independent reliable send per peer.
@@ -81,10 +107,29 @@ class ReliableTransport:
             segments.append((dst, state.admit(payload, now, self._incarnation)))
         identities = {(s.seq, s.epoch) for _, s in segments}
         if len(identities) == 1 and self._process.env.network.hardware_multicast:
+            # One shared segment object reaches every destination, so no
+            # per-peer ack can ride on it.
             self._process.multicast([dst for dst, _ in segments], segments[0][1])
         else:
             for dst, segment in segments:
-                self._process.send(dst, segment)
+                self._send_segment(dst, segment)
+
+    def _send_segment(self, dst: Address, segment: Segment) -> None:
+        """Put one segment on the wire, riding any pending ack for the
+        reverse channel on it (docs/comms.md)."""
+        pending = self._ack_pending.pop(dst, 0)
+        if pending:
+            timer = self._ack_timers.pop(dst, None)
+            if timer is not None:
+                timer.cancel()
+            state = self._recv.get(dst)
+            if state is not None:
+                segment.ack_cum_seq = state.cum_seq
+                segment.ack_epoch = state.channel_id[1]
+                self._process.env.network.stats.record_piggyback(
+                    "ack", pending
+                )
+        self._process.send(dst, segment)
 
     def unacked_count(self, dst: Address) -> int:
         state = self._send.get(dst)
@@ -95,6 +140,10 @@ class ReliableTransport:
         self._send.pop(dst, None)
         self._recv.pop(dst, None)
         self._peer_incarnation.pop(dst, None)
+        self._ack_pending.pop(dst, None)
+        timer = self._ack_timers.pop(dst, None)
+        if timer is not None:
+            timer.cancel()
 
     def reset(self) -> None:
         """Drop all channel state (fail-stop recovery: this process comes
@@ -102,6 +151,10 @@ class ReliableTransport:
         self._send.clear()
         self._recv.clear()
         self._peer_incarnation.clear()
+        self._ack_pending.clear()
+        for timer in self._ack_timers.values():
+            timer.cancel()
+        self._ack_timers.clear()
 
     def _retransmit_sweep(self) -> None:
         now = self._process.env.now
@@ -116,14 +169,16 @@ class ReliableTransport:
                         process=self._process.address, peer=dst,
                         seq=segment.seq,
                     ):
-                        self._process.send(dst, segment)
+                        self._send_segment(dst, segment)
                 else:
-                    self._process.send(dst, segment)
+                    self._send_segment(dst, segment)
 
     # -- receiving --------------------------------------------------------------
 
     def _on_segment(self, segment: Segment, sender: Address) -> None:
         self._note_peer_incarnation(sender, segment.incarnation)
+        if segment.ack_cum_seq is not None:
+            self._apply_ack(sender, segment.ack_cum_seq, segment.ack_epoch)
         state = self._recv.get(sender)
         if state is None or state.channel_id < segment.channel_id:
             # first contact, or the sender rebooted / restarted the
@@ -133,22 +188,69 @@ class ReliableTransport:
         elif state.channel_id > segment.channel_id:
             return  # a straggler from a dead channel: ignore entirely
         ready = state.accept(segment)
-        self._process.send(
-            sender,
-            SegmentAck(
-                cum_seq=state.cum_seq,
-                incarnation=self._incarnation,
-                epoch=segment.epoch,
-            ),
-        )
+        if self._ack_delay > 0:
+            self._note_ack_needed(sender)
+        else:
+            self._process.send(
+                sender,
+                SegmentAck(
+                    cum_seq=state.cum_seq,
+                    incarnation=self._incarnation,
+                    epoch=segment.epoch,
+                ),
+            )
         for payload in ready:
             self._process.deliver(payload, sender)
 
+    def _note_ack_needed(self, peer: Address) -> None:
+        """Queue an ack for ``peer``: it rides on the next outgoing
+        segment, or goes standalone after ``ack_delay`` of reverse-path
+        idleness."""
+        self._ack_pending[peer] = self._ack_pending.get(peer, 0) + 1
+        if peer not in self._ack_timers:
+            # Raw engine timer, not process.set_timer: acks are armed per
+            # inbound segment, and the Timer-object/closure per arm shows
+            # up in allocation-heavy runs.  Crash safety is preserved
+            # without the process-owned cancel — a fire after crash hits
+            # the ``process.send`` alive-guard, and recovery's ``reset``
+            # drops all pending state first.
+            self._ack_timers[peer] = self._process.env.scheduler.after_call(
+                self._ack_delay, self._delayed_ack, peer
+            )
+
+    def _delayed_ack(self, peer: Address) -> None:
+        """Idle fallback: no reverse segment carried the ack in time, so
+        send one standalone cumulative ack covering everything pending."""
+        self._ack_timers.pop(peer, None)
+        pending = self._ack_pending.pop(peer, 0)
+        if not pending or not self._process.alive:
+            return
+        state = self._recv.get(peer)
+        if state is None:
+            return  # peer was forgotten while the timer was armed
+        if pending > 1:
+            # One cumulative ack covers ``pending`` segments; all but the
+            # ack actually sent were absorbed into it.
+            self._process.env.network.stats.record_piggyback(
+                "ack", pending - 1
+            )
+        self._process.send(
+            peer,
+            SegmentAck(
+                cum_seq=state.cum_seq,
+                incarnation=self._incarnation,
+                epoch=state.channel_id[1],
+            ),
+        )
+
     def _on_ack(self, ack: SegmentAck, sender: Address) -> None:
         self._note_peer_incarnation(sender, ack.incarnation)
-        state = self._send.get(sender)
-        if state is not None and ack.epoch == state.epoch:
-            state.acknowledge(ack.cum_seq)
+        self._apply_ack(sender, ack.cum_seq, ack.epoch)
+
+    def _apply_ack(self, peer: Address, cum_seq: int, epoch: int) -> None:
+        state = self._send.get(peer)
+        if state is not None and epoch == state.epoch:
+            state.acknowledge(cum_seq)
 
     def _note_peer_incarnation(self, peer: Address, incarnation: int) -> None:
         """Detect a rebooted peer: restart our outgoing channel to it so
@@ -175,4 +277,4 @@ class ReliableTransport:
                 segment = state.admit(
                     payload, self._process.env.now, self._incarnation
                 )
-                self._process.send(peer, segment)
+                self._send_segment(peer, segment)

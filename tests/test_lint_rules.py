@@ -145,6 +145,33 @@ def test_rl009_sim_imports_outside_runtime():
     ) == []
 
 
+def test_rl010_segment_ack_outside_transport():
+    # Acks are the transport's private wire protocol: no layer above may
+    # construct one (it would bypass the delayed/piggybacked-ack
+    # bookkeeping of docs/comms.md).
+    assert "RL010" in codes(
+        "from repro.transport.channel import SegmentAck\n"
+        "process.send(peer, SegmentAck(cum_seq=5))\n"
+    )
+    assert "RL010" in codes(
+        "import repro.transport.channel as channel\n"
+        "ack = channel.SegmentAck(cum_seq=1, epoch=2)\n",
+        path=PLAIN,
+    )
+    # The transport itself is the one approved home.
+    assert codes(
+        "ack = SegmentAck(cum_seq=state.cum_seq)\n",
+        path="src/repro/transport/reliable.py",
+    ) == []
+    # Receiving/forwarding an ack object is fine — only construction is
+    # the transport's privilege.
+    assert codes("def _on_ack(self, ack, sender):\n    log(ack.cum_seq)\n") == []
+    # Per-line disable still works for judged exceptions.
+    assert codes(
+        "ack = SegmentAck(cum_seq=0)  # repro-lint: disable=RL010\n"
+    ) == []
+
+
 def test_every_rule_has_a_code_and_hint():
     seen = set()
     for rule in ALL_RULES:

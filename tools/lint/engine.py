@@ -53,6 +53,8 @@ def _context_for(path: str) -> LintContext:
         # RL009 boundary: the simulator itself and the runtime backends
         # are the only homes of repro.sim imports.
         allow_sim_import=package in ("sim", "runtime"),
+        # RL010 boundary: only the transport constructs its own acks.
+        allow_segment_ack=package == "transport",
     )
 
 

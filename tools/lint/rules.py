@@ -25,7 +25,10 @@ delivery digests):
 * the protocol stack is engine-agnostic: only ``repro/sim/`` itself and
   the runtime backends in ``repro/runtime/`` may import ``repro.sim``
   (RL009) — everything else programs against the engine contract in
-  :mod:`repro.runtime.api`.
+  :mod:`repro.runtime.api`;
+* transport acks are private to ``repro/transport/`` — a layer that
+  hand-builds a ``SegmentAck`` bypasses the delayed/piggybacked-ack
+  bookkeeping (RL010).
 """
 
 from __future__ import annotations
@@ -66,6 +69,10 @@ class LintContext:
     # repro/sim/ and repro/runtime/: the only packages that may import
     # the simulator (RL009 boundary).
     allow_sim_import: bool = False
+    # repro/transport/: the one layer that may construct SegmentAck
+    # (RL010 boundary — ack policy, incl. delayed/piggybacked acks,
+    # lives entirely inside the transport).
+    allow_segment_ack: bool = False
 
 
 class Rule(ast.NodeVisitor):
@@ -525,6 +532,36 @@ class SimImportRule(Rule):
         self.generic_visit(node)
 
 
+class SegmentAckRule(Rule):
+    """RL010: acks are the transport's private wire protocol.
+
+    The delayed/piggybacked-ack machinery (docs/comms.md) only preserves
+    logical message counts if every cumulative ack flows through
+    :class:`repro.transport.reliable.ReliableTransport` — a layer above
+    constructing and sending its own :class:`SegmentAck` would bypass
+    the pending-ack bookkeeping and double-acknowledge channels.
+    """
+
+    code = "RL010"
+    title = "SegmentAck constructed outside repro/transport/"
+    hint = (
+        "never hand-build transport acks: send through ReliableTransport "
+        "and let its ack policy (immediate, delayed or piggybacked) "
+        "answer segments — only repro/transport/ may construct SegmentAck"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self.ctx.allow_segment_ack:
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name == "SegmentAck":
+                self.flag(node, "transport ack constructed outside the transport")
+        self.generic_visit(node)
+
+
 ALL_RULES = (
     WallClockRule,
     StdlibRandomRule,
@@ -535,6 +572,7 @@ ALL_RULES = (
     SchedulerInternalsRule,
     TraceInternalsRule,
     SimImportRule,
+    SegmentAckRule,
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

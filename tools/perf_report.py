@@ -267,14 +267,16 @@ def scenario_flat_steady(n: int, sim_s: float, seed: int = 11) -> Dict:
     return result
 
 
-def _build_hier(n: int, seed: int, join_stagger: float) -> Environment:
+def _build_hier(
+    n: int, seed: int, join_stagger: float, comms=None
+) -> Environment:
     from repro.core import (
         LargeGroupParams,
         build_large_group,
         build_leader_group,
     )
 
-    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    env = Environment(seed=seed, latency=FixedLatency(0.002), comms=comms)
     params = LargeGroupParams(resiliency=3, fanout=8)
     leaders = build_leader_group(
         env,
@@ -344,6 +346,259 @@ def scenario_churn(sim_s: float, n: int = 24, seed: int = 17) -> Dict:
     result = _timed_run(env, sim_s)
     result["fingerprint"] = _fingerprint(env, digest)
     return result
+
+
+# -- comms report (docs/comms.md) --------------------------------------------
+
+# (n, timed sim seconds) — matches hier_steady_n64 / hier_steady_n256.
+COMM_SIZES = ((64, 6.0), (256, 3.0))
+
+
+def _comm_logical(delta) -> Dict[str, int]:
+    """Logical per-category message counts with piggybacked control
+    traffic added back — the accounting identity of docs/comms.md: this
+    dict must be equal for a packing-on and a packing-off run of the
+    same loss-free steady-state window."""
+    logical = dict(delta.by_category)
+    if delta.heartbeats_suppressed:
+        # A suppressed ping removes the ping and the ack it would draw.
+        logical["heartbeat"] = (
+            logical.get("heartbeat", 0) + 2 * delta.heartbeats_suppressed
+        )
+    pig = delta.piggybacked
+    if pig.get("ack"):
+        logical["transport-ack"] = (
+            logical.get("transport-ack", 0) + pig["ack"]
+        )
+    if pig.get("gossip"):
+        logical["group-stability"] = (
+            logical.get("group-stability", 0) + pig["gossip"]
+        )
+    return logical
+
+
+def _comm_measure(
+    n: int, sim_s: float, comms, seed: int = 13, settle: float = 9.0
+) -> Dict:
+    """One aligned steady-state measurement window over the hierarchy.
+
+    The settle (3 s longer than ``scenario_hier_steady``'s) outlasts the
+    final post-join view change, so the window holds only steady-state
+    traffic; the +0.016 offset parks both window boundaries in the quiet
+    zone between periodic ticks (heartbeats/gossip at 0.02-multiples,
+    their arrivals +0.002, delayed acks +0.012).  Together these make
+    the packing-on and packing-off windows count exactly the same
+    protocol rounds — the logical-identity check depends on it."""
+    env = _build_hier(n, seed, join_stagger=0.02, comms=comms)
+    env.run_for(settle + 0.02 * n + 0.016)
+    before = env.network.stats.snapshot()
+    timing = _timed_run(env, sim_s)
+    delta = env.network.stats.since(before)
+    return {
+        "wall_s": timing["wall_s"],
+        "sim_s": sim_s,
+        "events": timing["events"],
+        "events_per_sec": timing["events_per_sec"],
+        "messages": delta.messages,
+        "wire_packets": delta.wire_packets,
+        "bytes": delta.bytes,
+        "wire_bytes": delta.wire_bytes,
+        "dropped": delta.dropped,
+        "packed_packets": delta.packed_packets,
+        "packed_messages": delta.packed_messages,
+        "bytes_saved": delta.bytes_saved,
+        "heartbeats_suppressed": delta.heartbeats_suppressed,
+        "piggybacked": dict(delta.piggybacked),
+        "logical_by_category": _comm_logical(delta),
+    }
+
+
+def _comm_guard(core_path: str = "BENCH_core.json") -> Dict:
+    """Prove the all-off default is byte-identical to the frozen core
+    baselines: rerun ``hier_steady_n{64,256}`` with default CommsParams
+    and compare fingerprints against ``BENCH_core.json``."""
+    try:
+        with open(core_path) as fh:
+            core = json.load(fh)
+    except (OSError, ValueError):
+        core = {}
+    frozen = core.get("runs", {}).get("optimized", {}).get("scenarios", {})
+    guard: Dict[str, Dict] = {}
+    for n, sim_s in COMM_SIZES:
+        name = f"hier_steady_n{n}"
+        print(f"  guard {name} (packing off vs {core_path}) ...", flush=True)
+        fp = scenario_hier_steady(n, sim_s)["fingerprint"]
+        expected = frozen.get(name, {}).get("fingerprint")
+        guard[name] = {
+            "fingerprint": fp,
+            "matches_core_baseline": (
+                fp == expected if expected is not None else None
+            ),
+        }
+        if expected is not None and fp != expected:
+            raise SystemExit(
+                f"perf_report: comms-off fingerprint for {name} diverged "
+                f"from {core_path} — the packing layer is not inert at "
+                "pack_window=0"
+            )
+    return guard
+
+
+def _comm_sanitize(comms) -> Dict:
+    """Virtual-synchrony sanitizer sweep with the comms optimisations on:
+    flat and hierarchical scenarios, sim and asyncio engines, all must
+    finish VS001–VS006 clean (strict mode raises on violation)."""
+    from repro.core import LargeGroupParams, build_large_group, build_leader_group
+    from repro.membership import CAUSAL, FIFO, TOTAL, build_group
+    from repro.metrics.sanitizer import install_sanitizer
+    from repro.runtime import AsyncioRuntime, SimRuntime
+
+    def flat(runtime) -> int:
+        env = Environment(
+            latency=FixedLatency(0.002), runtime=runtime, comms=comms
+        )
+        _nodes, members = build_group(
+            env, "g", 4,
+            detector_factory=_heartbeat_factory,
+            gossip_interval=GOSSIP_INTERVAL,
+        )
+        sanitizer = install_sanitizer(members)
+        traffic = [
+            (0.10, members[0], FIFO, ("f0", "f1", "f2")),
+            (0.15, members[1], CAUSAL, ("c0", "c1")),
+            (0.20, members[2], TOTAL, ("t0", "t1")),
+            (0.25, members[3], FIFO, ("g0", "g1")),
+        ]
+        for start, member, ordering, payloads in traffic:
+            def burst(member=member, ordering=ordering, payloads=payloads):
+                for payload in payloads:
+                    member.multicast(payload, ordering)
+            env.scheduler.after(start, burst)
+        env.run_for(2.0)
+        return sanitizer.check(at_quiescence=True)["deliveries_checked"]
+
+    def hier(runtime, heartbeats: bool) -> int:
+        env = Environment(
+            latency=FixedLatency(0.002), runtime=runtime, comms=comms
+        )
+        params = LargeGroupParams(resiliency=2, fanout=3)
+        kwargs = (
+            dict(
+                detector_factory=_heartbeat_factory,
+                gossip_interval=GOSSIP_INTERVAL,
+            )
+            if heartbeats
+            else {}
+        )
+        leaders = build_leader_group(env, "svc", params, **kwargs)
+        contacts = tuple(r.node.address for r in leaders)
+        members = build_large_group(
+            env, "svc", 6, params, contacts, join_stagger=0.2, **kwargs
+        )
+        env.run_for(4.0)
+        placed = [m for m in members if m.is_member]
+        sanitizer = install_sanitizer(m.leaf_member for m in placed)
+        for offset, sender in enumerate((placed[0], placed[-1])):
+            def burst(sender=sender):
+                for i in range(3):
+                    sender.leaf_multicast(f"{sender.me}/m{i}", FIFO)
+            env.scheduler.after(0.1 + 0.2 * offset, burst)
+        env.run_for(3.0)
+        return sanitizer.check(at_quiescence=True)["deliveries_checked"]
+
+    results: Dict[str, Dict] = {}
+    for name, run in (
+        ("sim_flat", lambda: flat(SimRuntime(seed=7))),
+        ("sim_hier", lambda: hier(SimRuntime(seed=11), heartbeats=True)),
+    ):
+        print(f"  sanitize {name} (comms on) ...", flush=True)
+        results[name] = {"clean": True, "deliveries_checked": run()}
+    for name, make, run in (
+        (
+            "asyncio_flat",
+            lambda: AsyncioRuntime(seed=7, time_scale=0.05),
+            flat,
+        ),
+        (
+            "asyncio_hier",
+            lambda: AsyncioRuntime(seed=11, time_scale=0.1),
+            lambda rt: hier(rt, heartbeats=False),
+        ),
+    ):
+        print(f"  sanitize {name} (comms on) ...", flush=True)
+        runtime = make()
+        try:
+            results[name] = {"clean": True, "deliveries_checked": run(runtime)}
+        finally:
+            runtime.close()
+    return results
+
+
+def run_comm_suite(quick: bool = False) -> Dict:
+    """The ``--comm`` report: packing/piggybacking on vs off (docs/comms.md).
+
+    Per size: one packing-off and one packing-on aligned window over the
+    steady-state hierarchy, the wire-packet reduction between them, and
+    the logical-count identity check; plus the comms-off fingerprint
+    guard against ``BENCH_core.json`` and the sanitizer sweep."""
+    from repro.net.packer import CommsParams
+
+    comms_on = CommsParams.enabled(latency_floor=0.002)
+    sizes = COMM_SIZES[:1] if quick else COMM_SIZES
+    report: Dict = {
+        "benchmark": "bench_comm_packing",
+        "comms_params": {
+            "pack_window": comms_on.pack_window,
+            "delayed_ack": comms_on.delayed_ack,
+            "gossip_piggyback": comms_on.gossip_piggyback,
+            "heartbeat_suppression": comms_on.heartbeat_suppression,
+        },
+        "scenarios": {},
+    }
+    for n, sim_s in sizes:
+        name = f"hier_steady_n{n}"
+        print(f"  running {name} packing off ...", flush=True)
+        off = _comm_measure(n, sim_s, comms=None)
+        print(f"  running {name} packing on ...", flush=True)
+        on = _comm_measure(n, sim_s, comms=comms_on)
+        reduction = (
+            1.0 - on["wire_packets"] / off["wire_packets"]
+            if off["wire_packets"]
+            else 0.0
+        )
+        identical = off["logical_by_category"] == on["logical_by_category"]
+        report["scenarios"][name] = {
+            "off": off,
+            "on": on,
+            "wire_packet_reduction": round(reduction, 4),
+            "wire_byte_reduction": round(
+                1.0 - on["wire_bytes"] / off["wire_bytes"], 4
+            ) if off["wire_bytes"] else 0.0,
+            # Same simulated window on both sides, so time-to-solution
+            # is the honest throughput metric (events/sec alone drops
+            # when the optimisation removes events faster than wall).
+            "wall_speedup": round(off["wall_s"] / on["wall_s"], 3)
+            if on["wall_s"]
+            else None,
+            "logical_counts_identical": identical,
+        }
+        print(
+            f"    wire packets {off['wire_packets']} -> {on['wire_packets']} "
+            f"(-{reduction:.1%}), logical identical: {identical}"
+        )
+        if not identical:
+            raise SystemExit(
+                f"perf_report: logical message counts diverged for {name} — "
+                "the comms optimisations changed protocol behaviour"
+            )
+        if reduction < 0.30:
+            raise SystemExit(
+                f"perf_report: wire-packet reduction {reduction:.1%} for "
+                f"{name} is below the 30% target"
+            )
+    report["guard"] = _comm_guard()
+    report["sanitizer"] = _comm_sanitize(comms_on)
+    return report
 
 
 def build_scenarios(quick: bool) -> Dict[str, Callable[[], Dict]]:
@@ -438,10 +693,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="instead of benchmarking, regenerate the experiment-table "
         "capture (docs/bench_tables.txt) and exit",
     )
+    parser.add_argument(
+        "--comm",
+        action="store_true",
+        help="instead of the core suite, run the wire-packing/piggyback "
+        "report (docs/comms.md) and write BENCH_comm.json",
+    )
     args = parser.parse_args(argv)
 
     if args.tables:
         return capture_experiment_tables(args.tables)
+
+    if args.comm:
+        if argv is None:
+            pin_hash_seed()
+        out = args.out if args.out != "BENCH_core.json" else "BENCH_comm.json"
+        print(f"perf_report: comm report quick={args.quick}")
+        report = run_comm_suite(args.quick)
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
+        return 0
 
     if args.lint:
         # Benchmark numbers (and their behaviour fingerprints) are only
