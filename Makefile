@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline sanitize smoke-asyncio trace bench bench-report bench-quick bench-tables bench-comm perf-smoke clean
+.PHONY: test lint lint-baseline sanitize smoke-asyncio trace bench bench-report bench-guard bench-quick bench-tables bench-comm perf-smoke clean
 
 ## Tier-1: unit + integration tests (includes the quick perf smoke and
 ## the asyncio backend smoke, marker: asyncio_smoke).
@@ -41,6 +41,15 @@ bench:
 ## --lint preflight refuses to benchmark a nondeterministic tree.
 bench-report:
 	$(PYTHON) -m tools.perf_report --lint --label optimized --out BENCH_core.json --merge
+	$(PYTHON) -m tools.perf_report --guard --update
+
+## Perf regression gate: lint preflight, then rerun the quick guard
+## scenarios against the reference recorded in BENCH_core.json — fails
+## on any behaviour-fingerprint change or a >10% events/sec regression.
+## Suitable as a CI preflight alongside `make lint`.
+bench-guard:
+	$(PYTHON) -m tools.lint src/repro
+	$(PYTHON) -m tools.perf_report --guard
 
 ## Fast variant of the perf suite for local iteration (no JSON merge).
 bench-quick:

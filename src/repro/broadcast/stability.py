@@ -87,9 +87,10 @@ class StabilityTracker:
         if peer not in self._peer_view:
             return
         mine = self._peer_view[peer]
+        mine_get = mine.get
         floor = self._floor
         for sender, seq in delivered.items():
-            old = mine.get(sender)
+            old = mine_get(sender)
             if old is not None and seq > old:
                 mine[sender] = seq
                 if old == floor[sender]:

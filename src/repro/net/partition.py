@@ -20,6 +20,10 @@ class PartitionManager:
         self._island_of: Dict[Address, int] = {}
         self._islands_active = False
         self._cut_links: Set[Tuple[Address, Address]] = set()
+        # Plain-attribute mirror of ``partitioned``: the network's send
+        # path reads it once per datagram, and an attribute load is
+        # measurably cheaper than a property call in that loop.
+        self.active = False
 
     def partition(self, *islands: Iterable[Address]) -> None:
         """Split the network into the given islands.
@@ -34,21 +38,26 @@ class PartitionManager:
                     raise ValueError(f"{address} appears in two islands")
                 self._island_of[address] = index
         self._islands_active = True
+        self.active = True
 
     def heal(self) -> None:
         """Remove the island partition (cut links stay cut)."""
         self._island_of = {}
         self._islands_active = False
+        self.active = bool(self._cut_links)
 
     def cut_link(self, a: Address, b: Address) -> None:
         """Cut the directed link a -> b (call twice for both directions)."""
         self._cut_links.add((a, b))
+        self.active = True
 
     def restore_link(self, a: Address, b: Address) -> None:
         self._cut_links.discard((a, b))
+        self.active = self._islands_active or bool(self._cut_links)
 
     def restore_all_links(self) -> None:
         self._cut_links.clear()
+        self.active = self._islands_active
 
     @property
     def partitioned(self) -> bool:

@@ -44,11 +44,15 @@ class Environment:
         hardware_multicast: bool = False,
         runtime: Optional[Runtime] = None,
         comms: Optional[CommsParams] = None,
+        sim: Optional["SimParams"] = None,
     ) -> None:
         # ``seed`` feeds the default sim engine; an explicitly supplied
         # runtime brings its own root RNG (one seed per run, regardless
-        # of engine).
-        self.runtime = runtime if runtime is not None else SimRuntime(seed)
+        # of engine).  ``sim`` (a repro.sim.SimParams, passed through
+        # opaquely — this layer never imports the simulator) shapes the
+        # default engine, e.g. ``SimParams(shards=4)`` for the
+        # locality-sharded scheduler; ignored when ``runtime`` is given.
+        self.runtime = runtime if runtime is not None else SimRuntime(seed, params=sim)
         self.rng = self.runtime.rng
         # The engine's TimerService.  Kept under the historical name:
         # every layer reaches timers through ``env.scheduler``, and under

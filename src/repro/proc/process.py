@@ -34,6 +34,18 @@ class Timer:
     (:meth:`~repro.runtime.api.TimerService.rearm`) instead of allocating
     a fresh closure, event and handle per tick — the dominant allocation
     in heartbeat-heavy runs.
+
+    A one-shot timer uses the engine's recyclable handle-free path
+    (``after_call_once``) where available: the engine event returns to
+    the scheduler's free list the moment it fires, so timer-heavy
+    features (delayed acks) allocate no engine objects in steady state.
+    The recycled handle is never touched after firing — a one-shot marks
+    itself cancelled on fire, and :meth:`cancel` bails out on that flag
+    before ever reaching the engine handle.
+
+    On the sharded engine both flavours route to the owning process's
+    home shard via the keyed entry points, keeping leaf-local timer
+    traffic leaf-local.
     """
 
     __slots__ = ("_process", "_delay", "_fn", "_periodic", "_cancelled", "_handle")
@@ -50,9 +62,21 @@ class Timer:
         self._fn = fn
         self._periodic = periodic
         self._cancelled = False
-        self._handle: Optional[TimerHandle] = process.env.scheduler.after_call(
-            delay, Timer._fire, self
-        )
+        scheduler = process.env.scheduler
+        if periodic:
+            keyed = getattr(scheduler, "after_call_keyed", None)
+            self._handle: Optional[TimerHandle] = (
+                scheduler.after_call(delay, Timer._fire, self)
+                if keyed is None
+                else keyed(delay, Timer._fire, self, process.address)
+            )
+        else:
+            keyed_once = getattr(scheduler, "after_call_keyed_once", None)
+            if keyed_once is not None:
+                self._handle = keyed_once(delay, Timer._fire, self, process.address)
+            else:
+                once = getattr(scheduler, "after_call_once", scheduler.after_call)
+                self._handle = once(delay, Timer._fire, self)
 
     def _fire(self) -> None:
         if self._cancelled or not self._process.alive:
@@ -64,14 +88,20 @@ class Timer:
             self._process.env.scheduler.rearm(self._handle, self._delay)
         else:
             # A fired one-shot timer is dead: mark it cancelled so the
-            # owner's prune sweep can drop it.  Timer-heavy features
-            # (delayed acks) create thousands of one-shots per process;
-            # without this they survive every prune and the sweep goes
-            # quadratic.
+            # owner's prune sweep can drop it (and so cancel() never
+            # touches the now-recycled engine handle).  Timer-heavy
+            # features (delayed acks) create thousands of one-shots per
+            # process; without this they survive every prune and the
+            # sweep goes quadratic.
             self._cancelled = True
         self._fn()
 
     def cancel(self) -> None:
+        # Idempotent, and the sole guard keeping recycled one-shot
+        # handles safe: once _cancelled is set (by cancel or by firing)
+        # the engine handle is never touched again.
+        if self._cancelled:
+            return
         self._cancelled = True
         if self._handle is not None:
             self._handle.cancel()
@@ -98,8 +128,11 @@ class Process:
         self._recover_listeners: List[Callable[[], None]] = []
         self._traffic_listeners: List[Callable[[Address], None]] = []
         self._unhandled: List[Any] = []
+        # env.network is assigned once in Environment.__init__ and never
+        # replaced, so the per-send attribute chain can be cached here.
+        self._network = env.network
         env.add_process(self)
-        env.network.register(address, self._on_envelope)
+        self._network.register(address, self._on_envelope)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "down"
@@ -111,12 +144,12 @@ class Process:
         """Send a datagram (silently dropped if this process is crashed)."""
         if not self.alive:
             return
-        self.env.network.send(self.address, dst, payload)
+        self._network.send(self.address, dst, payload)
 
     def multicast(self, dsts: Iterable[Address], payload: Any) -> None:
         if not self.alive:
             return
-        self.env.network.multicast(self.address, list(dsts), payload)
+        self._network.multicast(self.address, list(dsts), payload)
 
     def on(self, payload_type: Type, handler: Handler) -> None:
         """Register ``handler(payload, sender)`` for a payload class."""
@@ -132,13 +165,20 @@ class Process:
     def _on_envelope(self, envelope: Envelope) -> None:
         if not self.alive:
             return
+        src = envelope.src
         if self._traffic_listeners:
             # Passive liveness evidence (docs/comms.md): *any* inbound
             # datagram proves its sender was up when it was sent, which
             # lets the failure detector skip redundant heartbeats.
             for fn in self._traffic_listeners:
-                fn(envelope.src)
-        self.deliver(envelope.payload, envelope.src)
+                fn(src)
+        # deliver(), inlined — this is the per-delivery hot path.
+        payload = envelope.payload
+        handler = self._handlers.get(type(payload))
+        if handler is None:
+            self.unhandled(payload, src)
+        else:
+            handler(payload, src)
 
     def add_traffic_listener(self, fn: Callable[[Address], None]) -> None:
         """Register ``fn(src)`` to observe every inbound datagram's sender

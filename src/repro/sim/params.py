@@ -1,0 +1,52 @@
+"""Simulation-engine parameters: the knobs that shape the event core.
+
+:class:`SimParams` travels from the caller (``Environment(sim=...)`` or
+``SimRuntime(params=...)``) to the engine factory.  The default —
+``shards=1`` — is the plain single-queue :class:`~repro.sim.scheduler.
+Scheduler`, byte-identical to every frozen fingerprint; ``shards > 1``
+selects the locality-sharded engine (:mod:`repro.sim.sharded`), which
+executes the *same* canonical (time, seq) order from per-shard queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Engine selection + tuning for one simulated run.
+
+    ``shards``
+        Number of independent event queues.  ``1`` (default) is the
+        classic single-heap scheduler.  With more, events are routed by
+        locality key (process address / message destination) to per-shard
+        queues that advance independently between cross-shard
+        interactions — the paper's leaf-locality argument applied to the
+        engine itself.  Delivery order is identical for every shard
+        count (docs/simulator.md, "Sharded scheduler & allocation
+        discipline").
+
+    ``shard_key``
+        Optional ``key -> int`` hash used to place a locality key on a
+        shard (modulo ``shards``).  The default is a CRC32 of ``str(key)``
+        — stable across processes and hash seeds, so sharded runs are
+        reproducible without ``PYTHONHASHSEED`` pinning.
+    """
+
+    shards: int = 1
+    shard_key: Optional[Callable[[Any], int]] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+
+    def make_scheduler(self):
+        """Build the scheduler this parameter set describes."""
+        from repro.sim.scheduler import Scheduler
+        from repro.sim.sharded import ShardedScheduler
+
+        if self.shards == 1:
+            return Scheduler()
+        return ShardedScheduler(self)

@@ -1,0 +1,372 @@
+"""Locality-sharded discrete-event scheduler (``SimParams.shards > 1``).
+
+The paper's scaling argument is that leaf subgroups interact mostly
+internally and only rarely across branch boundaries.  This engine applies
+the same observation to the simulator: events are routed by a locality
+key (process address, message destination) onto per-shard heaps, and the
+run loop advances one shard at a time in long uninterrupted bursts,
+switching only at branch-boundary interactions.
+
+Correctness is by construction, not by windowing:
+
+* Every event still receives a globally unique ``(time, seq)`` key from
+  one shared counter — the *canonical cross-shard merge order*.
+* The run loop always executes the shard whose head is the global
+  minimum, and keeps executing it while that head precedes a
+  **conservative lower bound**: the least head among all other shards
+  (capped by ``until``).  A cross-shard insert during the burst lowers
+  the bound immediately, so no shard ever runs past an event another
+  shard scheduled into its past.
+* Consequently the executed order is *exactly* the canonical order — a
+  shards=2 run produces byte-identical delivery digests to shards=1.
+  The win is mechanical: each burst works a heap that holds one shard's
+  events only (cheaper sifts, better locality), and the merge scan runs
+  once per burst instead of once per event.
+
+The effective lookahead between shards is the minimum cross-shard
+latency: with leaf-local traffic at millisecond spacing and cross-leaf
+messages only every few heartbeats, bursts span hundreds of events.
+When every event is cross-shard the engine degrades gracefully to a
+K-way merge of the same order (correct, just not faster) — see
+docs/simulator.md for when ``shards > 1`` is worth switching on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional
+from zlib import crc32
+
+from repro.sim.scheduler import (
+    COMPACT_MIN,
+    Scheduler,
+    SimulationError,
+    _Event,
+    _NO_ARG,
+)
+
+_INF = float("inf")
+
+
+def default_shard_key(key: Any) -> int:
+    """Stable locality hash: CRC32 of ``str(key)`` — identical across
+    processes and hash seeds, so sharded runs replay from the seed alone."""
+    return crc32(str(key).encode("utf-8"))
+
+
+class ShardedScheduler(Scheduler):
+    """K per-shard event heaps merged in exact canonical (time, seq) order.
+
+    Drop-in for :class:`~repro.sim.scheduler.Scheduler` (the whole
+    TimerService/MessageFabric surface, plus the keyed entry points the
+    network and process timers use for locality routing).  Construct via
+    :meth:`repro.sim.params.SimParams.make_scheduler`.
+    """
+
+    def __init__(self, params) -> None:
+        super().__init__()
+        if params.shards < 2:
+            raise SimulationError("ShardedScheduler requires shards >= 2")
+        self._nshards = params.shards
+        self._heaps: List[List[tuple]] = [[] for _ in range(params.shards)]
+        self._shard_key = params.shard_key or default_shard_key
+        self._shard_cache: Dict[Any, int] = {}
+        self._current = 0  # shard currently executing (0 when idle)
+        self._bucket_shard = -1
+        # Lower bound on what any *other* shard may still execute; only
+        # meaningful while running.  Stored as a heap entry so one tuple
+        # compare checks it.
+        self._bound: tuple = (_INF, 0, None)
+        self._switches = 0  # cross-shard sync points (diagnostics)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def heap_size(self) -> int:
+        """Total entries across all shard heaps (incl. lazily cancelled)."""
+        total = 0
+        for heap in self._heaps:
+            total += len(heap)
+        return total
+
+    @property
+    def shards(self) -> int:
+        return self._nshards
+
+    @property
+    def shard_switches(self) -> int:
+        """How many shard bursts the run loop has started — the lower
+        this is relative to events processed, the more locality paid off."""
+        return self._switches
+
+    def _shard_of(self, key: Any) -> int:
+        cache = self._shard_cache
+        shard = cache.get(key)
+        if shard is None:
+            shard = cache[key] = self._shard_key(key) % self._nshards
+        return shard
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(
+        self, time: float, fn: Callable, arg: Any, once: bool, shard: int
+    ) -> _Event:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f} < now {self._now:.6f}"
+            )
+        if self._bucket is not None and self._bucket_time == time:
+            self._bucket = None  # seal: keep (time, seq) order exact
+        if once:
+            pool = self._event_pool
+            if pool:
+                event = pool.pop()
+                event.time = time
+                event.fn = fn
+                event.arg = arg
+                event.cancelled = False
+                event.in_heap = True
+                event.batch = False
+            else:
+                self._fresh_events += 1
+                event = _Event(self, time, fn, arg, False, True)
+        else:
+            event = _Event(self, time, fn, arg, False, False)
+        entry = (time, self._seq, event)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heaps[shard], entry)
+        if self._running and shard != self._current and entry < self._bound:
+            self._bound = entry
+        return event
+
+    def at(self, time: float, fn: Callable[[], None]) -> _Event:
+        return self._schedule(time, fn, _NO_ARG, False, self._current)
+
+    def at_call(self, time: float, fn: Callable[[Any], None], arg: Any) -> _Event:
+        return self._schedule(time, fn, arg, False, self._current)
+
+    def at_call_once(self, time: float, fn: Callable[[Any], None], arg: Any) -> _Event:
+        return self._schedule(time, fn, arg, True, self._current)
+
+    def after_call_keyed(
+        self, delay: float, fn: Callable[[Any], None], arg: Any, key: Any
+    ) -> _Event:
+        """``after_call`` routed to ``key``'s home shard — process timers
+        use their owner's address so leaf-local ticks stay leaf-local."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._schedule(
+            self._now + delay, fn, arg, False, self._shard_of(key)
+        )
+
+    def after_call_keyed_once(
+        self, delay: float, fn: Callable[[Any], None], arg: Any, key: Any
+    ) -> _Event:
+        """Recyclable keyed one-shot (see :meth:`Scheduler.at_call_once`
+        for the handle contract)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._schedule(
+            self._now + delay, fn, arg, True, self._shard_of(key)
+        )
+
+    def at_call_grouped(
+        self, time: float, fn: Callable[[list], None], arg: Any, key: Any = None
+    ) -> None:
+        """Bucketed batching (see :meth:`Scheduler.at_call_grouped`) with
+        shard routing: a bucket lives on one shard, so grouped calls for
+        a different shard seal it and open their own."""
+        shard = self._current if key is None else self._shard_of(key)
+        bucket = self._bucket
+        if (
+            bucket is not None
+            and self._bucket_time == time
+            and bucket.fn is fn
+            and self._bucket_shard == shard
+        ):
+            bucket.arg.append(arg)
+            self._live += 1
+            return
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f} < now {self._now:.6f}"
+            )
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.fn = fn
+            event.cancelled = False
+            event.in_heap = True
+            event.batch = True
+        else:
+            self._fresh_events += 1
+            event = _Event(self, time, fn, None, True, True)
+        arg_pool = self._arg_pool
+        if arg_pool:
+            args = arg_pool.pop()
+        else:
+            self._fresh_lists += 1
+            args = []
+        args.append(arg)
+        event.arg = args
+        entry = (time, self._seq, event)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heaps[shard], entry)
+        if self._running and shard != self._current and entry < self._bound:
+            self._bound = entry
+        self._bucket = event
+        self._bucket_time = time
+        self._bucket_shard = shard
+
+    def rearm(self, handle: _Event, delay: float) -> _Event:
+        """Re-push a fired event into the executing shard (a timer fires
+        on its home shard, so re-arming keeps it there)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        if handle.in_heap:
+            raise SimulationError("cannot rearm an event that is still queued")
+        if handle.once:
+            raise SimulationError("cannot rearm a recycled one-shot event")
+        time = self._now + delay
+        if self._bucket is not None and self._bucket_time == time:
+            self._bucket = None
+        handle.time = time
+        handle.cancelled = False
+        handle.in_heap = True
+        heapq.heappush(self._heaps[self._current], (time, self._seq, handle))
+        self._seq += 1
+        self._live += 1
+        return handle
+
+    # -- cancellation bookkeeping --------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > COMPACT_MIN
+            and self._cancelled_in_heap * 2 > self.heap_size
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        pool = self._event_pool
+        heaps = self._heaps
+        for i in range(self._nshards):
+            # Amortised: compaction runs only when cancelled events
+            # dominate the heaps, not per event.
+            live: List[tuple] = []  # repro-lint: disable=RL011
+            append = live.append
+            for entry in heaps[i]:
+                event = entry[2]
+                if event.cancelled:
+                    event.in_heap = False
+                    if event.once:
+                        event.fn = None
+                        event.arg = None
+                        pool.append(event)
+                else:
+                    append(entry)
+            heapq.heapify(live)
+            heaps[i] = live
+        self._cancelled_in_heap = 0
+
+    # -- running -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the globally next event (canonical order), regardless of
+        shard.  A whole bucket counts as one step."""
+        heaps = self._heaps
+        while True:
+            current = -1
+            best = None
+            for i in range(self._nshards):
+                heap = heaps[i]
+                if heap:
+                    entry = heap[0]
+                    if best is None or entry < best:
+                        best = entry
+                        current = i
+            if current < 0:
+                return False
+            entry = heapq.heappop(heaps[current])
+            event = entry[2]
+            event.in_heap = False
+            if event.cancelled:
+                self._cancelled_in_heap -= 1
+                if event.once:
+                    event.fn = None
+                    event.arg = None
+                    self._event_pool.append(event)
+                continue
+            self._current = current
+            self._dispatch(entry[0], event)
+            return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if self._running:
+            raise SimulationError("scheduler re-entered from within an event")
+        self._running = True
+        heaps = self._heaps
+        nshards = self._nshards
+        pop = heapq.heappop
+        limit = (_INF, 0, None) if until is None else (until, _INF, None)
+        fired = 0
+        try:
+            while True:
+                # The globally minimal head picks the next burst's shard —
+                # this IS the canonical merge order.
+                current = -1
+                best = None
+                for i in range(nshards):
+                    heap = heaps[i]
+                    if heap:
+                        entry = heap[0]
+                        if best is None or entry < best:
+                            best = entry
+                            current = i
+                if current < 0 or not best < limit:
+                    break
+                # Conservative lower bound: the burst may not run past
+                # any other shard's head (or `until`).  Inserts into
+                # other shards during the burst lower it on the fly.
+                bound = limit
+                for i in range(nshards):
+                    if i != current:
+                        heap = heaps[i]
+                        if heap and heap[0] < bound:
+                            bound = heap[0]
+                self._bound = bound
+                self._current = current
+                self._switches += 1
+                while True:
+                    heap = heaps[current]  # compaction may swap the list
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    if not entry < self._bound:
+                        break
+                    if max_events is not None and fired >= max_events:
+                        return
+                    pop(heap)
+                    event = entry[2]
+                    event.in_heap = False
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        if event.once:
+                            event.fn = None
+                            event.arg = None
+                            self._event_pool.append(event)
+                        continue
+                    fired += self._dispatch(entry[0], event)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.net.message import payload_category, payload_size
+
 
 @dataclass
 class Segment:
@@ -41,14 +43,10 @@ class Segment:
 
     @property
     def category(self) -> str:
-        from repro.net.message import payload_category
-
         return payload_category(self.payload)
 
     @property
     def size_bytes(self) -> int:
-        from repro.net.message import payload_size
-
         size = payload_size(self.payload) + 16  # seq-number overhead
         if self.ack_cum_seq is not None:
             size += SegmentAck.size_bytes  # ack riding in the header

@@ -66,6 +66,12 @@ class ReliableTransport:
         self._ack_delay = ack_delay
         self._send: Dict[Address, SendState] = {}
         self._recv: Dict[Address, ReceiveState] = {}
+        # Number of channels with unacked segments outstanding.  The
+        # periodic retransmission sweep fires every rto for the whole
+        # life of the process; with delayed acks well below rto the
+        # steady state is "everything acked", and this counter lets the
+        # sweep return without touching per-channel state at all.
+        self._inflight = 0
         self._peer_incarnation: Dict[Address, int] = {}
         # Delayed-ack state: segments received per peer since the last
         # ack (standalone or ridden), and the idle-fallback timer.
@@ -85,6 +91,8 @@ class ReliableTransport:
     def send(self, dst: Address, payload: Any) -> None:
         """Reliably send ``payload`` to ``dst`` (FIFO per destination)."""
         state = self._send.setdefault(dst, SendState())
+        if not state.unacked:
+            self._inflight += 1
         segment = state.admit(payload, self._process.env.now, self._incarnation)
         self._send_segment(dst, segment)
 
@@ -104,6 +112,8 @@ class ReliableTransport:
         segments = []
         for dst in dst_list:
             state = self._send.setdefault(dst, SendState())
+            if not state.unacked:
+                self._inflight += 1
             segments.append((dst, state.admit(payload, now, self._incarnation)))
         identities = {(s.seq, s.epoch) for _, s in segments}
         if len(identities) == 1 and self._process.env.network.hardware_multicast:
@@ -137,7 +147,9 @@ class ReliableTransport:
 
     def forget_peer(self, dst: Address) -> None:
         """Drop state for a peer known to have failed (stops retransmits)."""
-        self._send.pop(dst, None)
+        state = self._send.pop(dst, None)
+        if state is not None and state.unacked:
+            self._inflight -= 1
         self._recv.pop(dst, None)
         self._peer_incarnation.pop(dst, None)
         self._ack_pending.pop(dst, None)
@@ -149,6 +161,7 @@ class ReliableTransport:
         """Drop all channel state (fail-stop recovery: this process comes
         back with fresh sequence numbers under a new incarnation)."""
         self._send.clear()
+        self._inflight = 0
         self._recv.clear()
         self._peer_incarnation.clear()
         self._ack_pending.clear()
@@ -157,9 +170,15 @@ class ReliableTransport:
         self._ack_timers.clear()
 
     def _retransmit_sweep(self) -> None:
+        if not self._inflight:
+            return  # every channel fully acked: nothing can be due
         now = self._process.env.now
         trace = self._process.env.network.trace
         for dst, state in self._send.items():
+            # Channels with nothing unacked (the steady-state majority)
+            # skip the per-channel sort inside due_for_retransmit.
+            if not state.unacked:
+                continue
             for segment in state.due_for_retransmit(now, self._rto, self._incarnation):
                 if trace is not None:
                     # Each retransmission gets its own span so traced runs
@@ -176,7 +195,10 @@ class ReliableTransport:
     # -- receiving --------------------------------------------------------------
 
     def _on_segment(self, segment: Segment, sender: Address) -> None:
-        self._note_peer_incarnation(sender, segment.incarnation)
+        # Steady state: the peer's incarnation is already known and
+        # unchanged, so the bookkeeping call is skipped entirely.
+        if self._peer_incarnation.get(sender) != segment.incarnation:
+            self._note_peer_incarnation(sender, segment.incarnation)
         if segment.ack_cum_seq is not None:
             self._apply_ack(sender, segment.ack_cum_seq, segment.ack_epoch)
         state = self._recv.get(sender)
@@ -244,13 +266,16 @@ class ReliableTransport:
         )
 
     def _on_ack(self, ack: SegmentAck, sender: Address) -> None:
-        self._note_peer_incarnation(sender, ack.incarnation)
+        if self._peer_incarnation.get(sender) != ack.incarnation:
+            self._note_peer_incarnation(sender, ack.incarnation)
         self._apply_ack(sender, ack.cum_seq, ack.epoch)
 
     def _apply_ack(self, peer: Address, cum_seq: int, epoch: int) -> None:
         state = self._send.get(peer)
-        if state is not None and epoch == state.epoch:
+        if state is not None and epoch == state.epoch and state.unacked:
             state.acknowledge(cum_seq)
+            if not state.unacked:
+                self._inflight -= 1
 
     def _note_peer_incarnation(self, peer: Address, incarnation: int) -> None:
         """Detect a rebooted peer: restart our outgoing channel to it so

@@ -172,6 +172,49 @@ def test_rl010_segment_ack_outside_transport():
     ) == []
 
 
+HOT = "src/repro/net/network.py"  # a hot-event-loop path
+
+
+def test_rl011_hot_loop_allocation():
+    # Per-event closures and container literals inside the event core's
+    # hot loops defeat the zero-allocation discipline (free lists,
+    # grouped dispatch) that the steady-state throughput rests on.
+    assert "RL011" in codes(
+        "for e in batch:\n    fabric.at_call(t, lambda: deliver(e))\n",
+        path=HOT,
+    )
+    assert "RL011" in codes(
+        "while heap:\n"
+        "    def fire():\n"
+        "        pop()\n"
+        "    fire()\n",
+        path=HOT,
+    )
+    assert "RL011" in codes(
+        "for e in batch:\n    meta = []\n", path=HOT
+    )
+    assert "RL011" in codes(
+        "for e in batch:\n    seen = {}\n", path=HOT
+    )
+    assert "RL011" in codes(
+        "for e in batch:\n    dsts = [x.dst for x in group]\n", path=HOT
+    )
+    # Allocation-free loop bodies stay quiet.
+    assert codes(
+        "for e in batch:\n    pool.append(e)\n", path=HOT
+    ) == []
+    # Outside a loop, allocation is setup cost, not per-event cost.
+    assert codes("meta = {}\nbatch = []\n", path=HOT) == []
+    # The rule only polices the event core's hot files.
+    assert codes("for e in batch:\n    meta = []\n", path=PLAIN) == []
+    # Amortised allocations are waved through explicitly.
+    assert codes(
+        "for e in batch:\n"
+        "    live = []  # repro-lint: disable=RL011\n",
+        path=HOT,
+    ) == []
+
+
 def test_every_rule_has_a_code_and_hint():
     seen = set()
     for rule in ALL_RULES:

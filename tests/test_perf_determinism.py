@@ -38,7 +38,7 @@ def _hb(node):
 
 
 def run_hier_churn_scenario(
-    seed: int, latency=None, drop: float = 0.0, instrument=None
+    seed: int, latency=None, drop: float = 0.0, instrument=None, sim=None
 ):
     """A mid-size hierarchical service with heartbeats, gossip, a crash
     and a recovery — exercising every path the perf rewrite touched.
@@ -46,12 +46,15 @@ def run_hier_churn_scenario(
     ``instrument``, if given, is called with the environment before the
     run starts — how tests bolt observation-only instrumentation (e.g.
     ``repro.trace.attach``) onto the frozen scenario to prove it changes
-    nothing.
+    nothing.  ``sim`` (a :class:`repro.sim.SimParams`) selects the engine
+    flavour — the sharded-scheduler parity tests run the same scenario at
+    ``shards=1`` and ``shards=2`` and demand identical tuples.
     """
     env = Environment(
         seed=seed,
         latency=latency if latency is not None else FixedLatency(0.002),
         drop_probability=drop,
+        sim=sim,
     )
     params = LargeGroupParams(resiliency=3, fanout=6)
     leaders = build_leader_group(
@@ -186,3 +189,109 @@ def test_different_seeds_diverge():
     a = run_hier_churn_scenario(23, latency=LanLatency())
     b = run_hier_churn_scenario(31, latency=LanLatency())
     assert a[0] != b[0]
+
+
+# -- recycling lifecycle edge cases ------------------------------------------
+#
+# The free-list discipline (docs/simulator.md) has two sharp edges: an
+# event cancelled *while its timestamp is already being drained*, and a
+# handle held after its event returned to the pool.  Both must stay
+# safe, not just fast.
+
+
+def test_cancel_during_callback_same_timestamp():
+    """A callback cancels a later event at the SAME timestamp: the victim
+    must not fire, and its (recyclable) event must reach the free list."""
+    from repro.sim import Scheduler
+
+    sched = Scheduler()
+    fired = []
+    handles = {}
+
+    def killer(_arg):
+        fired.append("killer")
+        handles["victim"].cancel()
+
+    sched.at_call(1.0, killer, None)
+    handles["victim"] = sched.at_call_once(1.0, fired.append, "victim")
+    sched.run()
+    assert fired == ["killer"]
+    assert sched.pending == 0
+    assert sched.alloc_stats["pooled_events"] >= 1
+
+
+def test_rearm_after_recycle_raises():
+    """Re-arming a fired one-shot is rejected: its event object may
+    already be serving an unrelated caller from the free list."""
+    import pytest
+
+    from repro.sim import Scheduler, SimulationError
+
+    sched = Scheduler()
+    fired = []
+    handle = sched.after_call_once(0.1, fired.append, "x")
+    sched.run()
+    assert fired == ["x"]
+    with pytest.raises(SimulationError):
+        sched.rearm(handle, 0.1)
+
+
+def test_envelope_reuse_across_packed_wire_packets():
+    """With wire packing on, envelopes held by the packer across flushes
+    still return to the free list: after warm-up a steady-state window
+    constructs zero fresh envelopes."""
+    from repro.net.packer import CommsParams
+
+    env = Environment(
+        seed=7,
+        latency=FixedLatency(0.002),
+        comms=CommsParams.enabled(latency_floor=0.002),
+    )
+    build_group(env, "svc", 8, detector_factory=_hb, gossip_interval=0.5)
+    env.run_for(3.0)  # warm-up: pools grow to the steady-state peak
+    stats = env.network.alloc_stats
+    fresh_before = stats["fresh_envelopes"]
+    assert stats["pooled_envelopes"] > 0
+    env.run_for(3.0)
+    assert env.network.alloc_stats["fresh_envelopes"] == fresh_before
+
+
+# -- sharded scheduler parity ------------------------------------------------
+
+
+def test_sharded_scheduler_digest_parity():
+    """shards=2 must replay the exact shards=1 run: same delivery digest,
+    same counts, same event total, same final time."""
+    from repro.sim import SimParams
+
+    base = run_hier_churn_scenario(23)
+    sharded = run_hier_churn_scenario(23, sim=SimParams(shards=2))
+    assert sharded == base
+
+
+def test_sharded_scheduler_sanitizer_clean():
+    """A small flat group on shards=2 passes the virtual-synchrony
+    sanitizer (strict mode raises on any VS violation)."""
+    from repro.membership import FIFO
+    from repro.metrics.sanitizer import install_sanitizer
+    from repro.sim import SimParams
+
+    env = Environment(
+        seed=7, latency=FixedLatency(0.002), sim=SimParams(shards=2)
+    )
+    _nodes, members = build_group(
+        env, "g", 4, detector_factory=_hb, gossip_interval=0.5
+    )
+    sanitizer = install_sanitizer(members)
+    for start, member, payloads in (
+        (0.1, members[0], ("a0", "a1")),
+        (0.2, members[2], ("b0", "b1")),
+    ):
+        def burst(member=member, payloads=payloads):
+            for payload in payloads:
+                member.multicast(payload, FIFO)
+
+        env.scheduler.after(start, burst)
+    env.run_for(2.0)
+    report = sanitizer.check(at_quiescence=True)
+    assert report["deliveries_checked"] > 0

@@ -73,6 +73,9 @@ class LintContext:
     # (RL010 boundary — ack policy, incl. delayed/piggybacked acks,
     # lives entirely inside the transport).
     allow_segment_ack: bool = False
+    # Event-core hot-loop files (scheduler, sharded scheduler, network):
+    # RL011 polices per-event allocations inside their loops.
+    hot_event_loop: bool = False
 
 
 class Rule(ast.NodeVisitor):
@@ -562,6 +565,84 @@ class SegmentAckRule(Rule):
         self.generic_visit(node)
 
 
+class HotLoopAllocationRule(Rule):
+    """RL011: no per-event allocations in the event-core hot loops.
+
+    The zero-allocation discipline (docs/simulator.md, "Sharded scheduler
+    & allocation discipline") is a measured property: the scheduler and
+    network steady state must not construct objects per event, or the
+    free lists are pure overhead and the allocation probe in
+    ``tools/perf_report.py`` regresses.  This rule flags the allocation
+    forms that historically crept into these loops — closures (lambda /
+    nested def) and container literals or comprehensions — when they sit
+    inside a ``for``/``while`` loop in a hot-loop file (scheduler,
+    sharded scheduler, network).
+
+    A deliberate, measured allocation (e.g. the compaction pass, which
+    runs amortised-rarely) is opted out per line with
+    ``# repro-lint: disable=RL011``.
+    """
+
+    code = "RL011"
+    title = "per-event allocation inside an event-core hot loop"
+    hint = (
+        "hoist the allocation out of the loop or draw from a free list "
+        "(self._event_pool / self._arg_pool / self._env_pool); if the "
+        "allocation is deliberately amortised (compaction, setup), "
+        "disable RL011 on that line"
+    )
+
+    def __init__(self, ctx: LintContext) -> None:
+        super().__init__(ctx)
+        self._loop_depth = 0
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        if not self.ctx.hot_event_loop:
+            return
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_While = _visit_loop
+
+    def _flag_if_hot(self, node: ast.AST, what: str) -> None:
+        if self._loop_depth > 0:
+            self.flag(node, f"{what} allocated inside a hot event loop")
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._flag_if_hot(node, "closure (lambda)")
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._flag_if_hot(node, "closure (nested def)")
+        self.generic_visit(node)
+
+    def visit_List(self, node: ast.List) -> None:
+        self._flag_if_hot(node, "list literal")
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._flag_if_hot(node, "dict literal")
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._flag_if_hot(node, "set literal")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._flag_if_hot(node, "list comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._flag_if_hot(node, "dict comprehension")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._flag_if_hot(node, "set comprehension")
+        self.generic_visit(node)
+
+
 ALL_RULES = (
     WallClockRule,
     StdlibRandomRule,
@@ -573,6 +654,7 @@ ALL_RULES = (
     TraceInternalsRule,
     SimImportRule,
     SegmentAckRule,
+    HotLoopAllocationRule,
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

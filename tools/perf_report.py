@@ -40,6 +40,8 @@ Usage::
     PYTHONPATH=src python -m tools.perf_report                # full suite
     PYTHONPATH=src python -m tools.perf_report --quick        # CI smoke
     PYTHONPATH=src python -m tools.perf_report --label optimized --merge
+    PYTHONPATH=src python -m tools.perf_report --guard        # regression gate
+    PYTHONPATH=src python -m tools.perf_report --guard --update  # new reference
 
 ``--merge`` updates the existing JSON in place (keeping other labels) and
 recomputes baseline→optimized speedups when both are present.
@@ -147,8 +149,14 @@ def pin_hash_seed() -> None:
 
 
 class _HeapWatch:
-    """Samples the scheduler's raw heap size every ``interval`` sim
-    seconds (cheap probe events; identical overhead for every label)."""
+    """Samples the scheduler's live event count every ``interval`` sim
+    seconds (cheap probe events; identical overhead for every label).
+
+    ``pending`` (live, non-cancelled events) is the honest backlog
+    metric: the raw heap length it used to sample also counted lazily
+    cancelled entries and counted a whole grouped bucket as one, so
+    cancellation-heavy runs inflated the peak and batched runs deflated
+    it."""
 
     def __init__(self, scheduler: Scheduler, interval: float = 0.05) -> None:
         self._scheduler = scheduler
@@ -157,7 +165,7 @@ class _HeapWatch:
         scheduler.after(interval, self._probe)
 
     def _probe(self) -> None:
-        size = self._scheduler.heap_size
+        size = self._scheduler.pending
         if size > self.peak:
             self.peak = size
         self._scheduler.after(self._interval, self._probe)
@@ -179,21 +187,49 @@ def _fingerprint(env: Environment, digest: Optional[DeliveryDigest]) -> Dict:
     return fp
 
 
+def _fresh_allocs(env: Environment) -> Optional[int]:
+    """Total fresh (non-pooled) constructions so far: scheduler events +
+    arg lists + network envelopes.  None when the engine has no free-list
+    telemetry (the asyncio runtime)."""
+    sched_stats = getattr(env.scheduler, "alloc_stats", None)
+    if sched_stats is None:
+        return None
+    total = sched_stats["fresh_events"] + sched_stats["fresh_arg_lists"]
+    net_stats = getattr(env.network, "alloc_stats", None)
+    if net_stats is not None:
+        total += net_stats["fresh_envelopes"]
+    return total
+
+
 def _timed_run(env: Environment, duration: float) -> Dict:
-    """Run ``duration`` sim seconds under the wall clock and report."""
+    """Run ``duration`` sim seconds under the wall clock and report.
+
+    ``allocs`` is the window's delta of fresh event/arg-list/envelope
+    constructions — the zero-allocation discipline's probe.  In a warm
+    steady state the free lists satisfy every request, so this should be
+    ~0 regardless of how many events fire (``allocs_per_1k_events``
+    normalises it for comparison across scenario sizes)."""
     watch = _HeapWatch(env.scheduler)
     before_events = env.scheduler.events_processed
+    before_allocs = _fresh_allocs(env)
     t0 = time.perf_counter()
     env.run_for(duration)
     wall = time.perf_counter() - t0
     events = env.scheduler.events_processed - before_events
-    return {
+    result = {
         "wall_s": round(wall, 4),
         "sim_s": duration,
         "events": events,
         "events_per_sec": round(events / wall) if wall > 0 else None,
         "peak_heap": watch.peak,
     }
+    if before_allocs is not None:
+        allocs = _fresh_allocs(env) - before_allocs
+        result["allocs"] = allocs
+        result["allocs_per_1k_events"] = (
+            round(1000.0 * allocs / events, 3) if events else 0.0
+        )
+    return result
 
 
 # -- scenarios ---------------------------------------------------------------
@@ -623,6 +659,156 @@ def build_scenarios(quick: bool) -> Dict[str, Callable[[], Dict]]:
     }
 
 
+# -- regression guard --------------------------------------------------------
+
+# Quick-size scenarios the guard re-measures; the traced variant is
+# excluded (it re-runs hier_steady_n64 and would double guard latency
+# without adding a distinct fingerprint).
+GUARD_SCENARIOS = (
+    "scheduler_micro",
+    "flat_steady_n64",
+    "hier_steady_n64",
+    "churn",
+)
+
+# A guard run must be at least this fraction of the reference's
+# machine-normalised events/sec (i.e. >10% slowdowns fail).
+# Fingerprints, by contrast, must match exactly.
+GUARD_EPS_FLOOR = 0.9
+
+
+def _calibrate(target_s: float = 0.1, repeats: int = 3) -> float:
+    """Machine-speed probe: ops/sec of a fixed pure-Python loop.
+
+    A shared box drifts well beyond 10% between a reference recording
+    and a later check, which would make a raw events/sec floor flap on
+    identical code.  The guard therefore compares *calibrated* speeds:
+    this loop is measured alongside the reference and again at check
+    time, and the scenario floor scales by the ratio — machine drift
+    cancels, real per-event regressions do not.  Best-of-``repeats``
+    (the probe itself is subject to the same noise).
+    """
+    n = 200_000
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        done = 0
+        while time.perf_counter() - t0 < target_s:
+            acc = 0
+            for i in range(n):
+                acc += i & 7
+            done += n
+        ops = done / (time.perf_counter() - t0)
+        if ops > best:
+            best = ops
+    return best
+
+
+def run_guard(out_path: str, update: bool) -> int:
+    """``--guard``: fail fast if the working tree regressed the core.
+
+    Runs the quick-size guard scenarios and compares them against the
+    ``guard`` reference label in ``BENCH_core.json``: every behaviour
+    fingerprint (delivery digest included) must be byte-identical, and
+    events/sec must stay within ``GUARD_EPS_FLOOR`` of the reference.
+    ``--guard --update`` records the current tree as the new reference
+    (done automatically by ``make bench-report``).
+    """
+    mode = "update" if update else "check"
+    print(f"perf_report: guard ({mode}) vs {out_path}")
+    scenarios = build_scenarios(quick=True)
+    results: Dict[str, Dict] = {}
+    for name in GUARD_SCENARIOS:
+        print(f"  running {name} (quick) ...", flush=True)
+        results[name] = scenarios[name]()
+    try:
+        with open(out_path) as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        report = {"benchmark": "bench_perf_core", "runs": {}}
+    if update:
+        report.setdefault("runs", {})["guard"] = {
+            "scenarios": results,
+            "quick": True,
+            "calibration_ops_per_sec": round(_calibrate()),
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"perf_report: guard reference updated in {out_path}")
+        return 0
+    guard_entry = report.get("runs", {}).get("guard", {})
+    reference = guard_entry.get("scenarios")
+    if not reference:
+        print(
+            f"perf_report: no guard reference in {out_path}; "
+            "run `python -m tools.perf_report --guard --update` first"
+        )
+        return 2
+    # Machine drift between recording and checking cancels out of the
+    # speed floor via the calibration ratio (see _calibrate).
+    ref_cal = guard_entry.get("calibration_ops_per_sec")
+    scale = 1.0
+    if ref_cal:
+        cur_cal = _calibrate()
+        scale = cur_cal / ref_cal
+        print(f"    machine speed vs reference recording: {scale:.3f}x")
+    failures: List[str] = []
+    for name, fresh in results.items():
+        expected = reference.get(name)
+        if expected is None:
+            failures.append(f"{name}: no reference entry")
+            continue
+        if fresh["fingerprint"] != expected["fingerprint"]:
+            failures.append(
+                f"{name}: behaviour fingerprint diverged from reference "
+                "(delivery order / counts changed)"
+            )
+            continue
+        ref_eps = expected.get("events_per_sec")
+        if ref_eps:
+            ref_eps = ref_eps * scale  # reference at today's machine speed
+        eps = fresh.get("events_per_sec")
+        # Wall-clock noise easily exceeds 10% run-to-run on a busy box;
+        # a real regression is reproducible, noise is not, so a scenario
+        # only fails the speed floor if the best of three attempts is
+        # still below it.  Fingerprints must match on every attempt.
+        attempts = 1
+        while (
+            ref_eps and eps and eps < GUARD_EPS_FLOOR * ref_eps and attempts < 3
+        ):
+            attempts += 1
+            print(
+                f"    {name}: {eps:,} events/sec below floor, "
+                f"re-measuring ({attempts}/3) ...", flush=True
+            )
+            retry = scenarios[name]()
+            if retry["fingerprint"] != expected["fingerprint"]:
+                failures.append(
+                    f"{name}: behaviour fingerprint diverged on re-measure"
+                )
+                eps = None
+                break
+            retry_eps = retry.get("events_per_sec")
+            if retry_eps and retry_eps > eps:
+                eps = retry_eps
+        if ref_eps and eps and eps < GUARD_EPS_FLOOR * ref_eps:
+            failures.append(
+                f"{name}: {eps:,} events/sec (best of {attempts}) is more "
+                f"than {round((1 - GUARD_EPS_FLOOR) * 100)}% below the "
+                f"machine-normalised reference {round(ref_eps):,}"
+            )
+        elif eps is not None:
+            ratio = round(eps / ref_eps, 3) if ref_eps and eps else None
+            print(f"    {name}: fingerprint identical, {ratio}x reference speed")
+    if failures:
+        for line in failures:
+            print(f"perf_report: GUARD FAIL {line}")
+        return 3
+    print("perf_report: guard ok (fingerprints identical, speed within bounds)")
+    return 0
+
+
 # -- report assembly ---------------------------------------------------------
 
 
@@ -699,10 +885,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="instead of the core suite, run the wire-packing/piggyback "
         "report (docs/comms.md) and write BENCH_comm.json",
     )
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="quick regression guard: rerun the guard scenarios and fail "
+        "on any fingerprint change or a >10%% events/sec regression "
+        "against the reference recorded in BENCH_core.json",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="with --guard: record the current tree as the new guard "
+        "reference instead of checking against it",
+    )
     args = parser.parse_args(argv)
 
     if args.tables:
         return capture_experiment_tables(args.tables)
+
+    if args.guard:
+        if argv is None:
+            pin_hash_seed()
+        return run_guard(args.out, update=args.update)
 
     if args.comm:
         if argv is None:
