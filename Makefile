@@ -1,20 +1,29 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline sanitize smoke-asyncio trace bench bench-report bench-guard bench-quick bench-tables bench-comm perf-smoke clean
+.PHONY: test lint lint-baseline analyze sanitize smoke-asyncio trace bench bench-report bench-guard bench-quick bench-tables bench-comm perf-smoke clean
 
 ## Tier-1: unit + integration tests (includes the quick perf smoke and
 ## the asyncio backend smoke, marker: asyncio_smoke).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Static determinism & protocol-safety analysis (tools/lint, RL001…RL010).
+## Static determinism & protocol-safety analysis: per-file rules
+## (RL001…RL011) plus the whole-program passes (RL012 taint, RL013
+## handler exhaustiveness, RL014 await-atomicity); --check-baseline
+## keeps the grandfathered-findings file from going stale.
 lint:
-	$(PYTHON) -m tools.lint src/repro
+	$(PYTHON) -m tools.lint src/repro --flow --check-baseline
 
 ## Rewrite the grandfathered-findings baseline from the current tree.
 lint-baseline:
-	$(PYTHON) -m tools.lint src/repro --update-baseline
+	$(PYTHON) -m tools.lint src/repro --flow --update-baseline
+
+## Whole-program analysis report: symbol table + call graph stats and
+## every finding (pre-baseline) as JSON under docs/ (docs/devtools.md,
+## "Whole-program analysis").
+analyze:
+	$(PYTHON) -m tools.lint src/repro --flow --json docs/flow_report.json
 
 ## Runtime virtual-synchrony sanitizer suite (VS001…VS006 hooks).
 sanitize:
@@ -43,12 +52,13 @@ bench-report:
 	$(PYTHON) -m tools.perf_report --lint --label optimized --out BENCH_core.json --merge
 	$(PYTHON) -m tools.perf_report --guard --update
 
-## Perf regression gate: lint preflight, then rerun the quick guard
-## scenarios against the reference recorded in BENCH_core.json — fails
-## on any behaviour-fingerprint change or a >10% events/sec regression.
-## Suitable as a CI preflight alongside `make lint`.
+## Perf regression gate: flow-clean lint preflight, then rerun the
+## quick guard scenarios against the reference recorded in
+## BENCH_core.json — fails on any behaviour-fingerprint change or a
+## >10% events/sec regression.  Suitable as a CI preflight alongside
+## `make lint`.
 bench-guard:
-	$(PYTHON) -m tools.lint src/repro
+	$(PYTHON) -m tools.lint src/repro --flow
 	$(PYTHON) -m tools.perf_report --guard
 
 ## Fast variant of the perf suite for local iteration (no JSON merge).

@@ -258,7 +258,7 @@ class ShardedScheduler(Scheduler):
         for i in range(self._nshards):
             # Amortised: compaction runs only when cancelled events
             # dominate the heaps, not per event.
-            live: List[tuple] = []  # repro-lint: disable=RL011
+            live: List[tuple] = []
             append = live.append
             for entry in heaps[i]:
                 event = entry[2]

@@ -1,0 +1,290 @@
+"""Whole-program passes (RL012/RL013/RL014): each fires on its seeded
+fixture with a full source→sink chain, clean idioms stay quiet, the
+live tree is flow-clean, and the CLI/report plumbing works."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.lint.flow import FLOW_CODES, analyze_paths, analyze_sources
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+# ------------------------------------------------------ RL012 taint chains
+
+
+def test_rl012_taint_through_three_deep_helper_chain():
+    # A wall-clock read laundered through two cross-module helpers must
+    # still be caught at the scheduler sink, with every hop rendered.
+    helpers = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def read_clock():\n"
+        "    t = time.monotonic()  # repro-lint: disable=RL001\n"
+        "    # per-file RL001 is silenced above: only the flow pass sees\n"
+        "    # the laundering\n"
+        "    return t\n"
+    )
+    mid = (
+        "from repro.util.helpers import read_clock\n"
+        "\n"
+        "\n"
+        "def jitter():\n"
+        "    return read_clock() * 0.5\n"
+    )
+    proto = (
+        "from repro.util.mid import jitter\n"
+        "\n"
+        "\n"
+        "class Pinger:\n"
+        "    def arm(self, scheduler, cb):\n"
+        "        delay = jitter()\n"
+        "        scheduler.after_call(delay, cb)\n"
+    )
+    findings, _ = analyze_sources(
+        [
+            ("src/repro/util/helpers.py", helpers),
+            ("src/repro/util/mid.py", mid),
+            ("src/repro/membership/proto.py", proto),
+        ]
+    )
+    assert _codes(findings) == ["RL012"]
+    message = findings[0].message
+    assert "wall-clock" in message
+    assert "time.monotonic()" in message
+    # every hop of the chain is rendered with its location
+    assert "read_clock()" in message and "helpers.py" in message
+    assert "jitter()" in message and "mid.py" in message
+    assert "scheduler deadline argument" in message
+    assert message.count("->") >= 3
+
+
+def test_rl012_sanitizers_and_ordered_views_stay_quiet():
+    # sorted() launders set-order taint; dict .items() iteration is
+    # insertion-ordered and is not a source at all.
+    clean = (
+        "class View:\n"
+        "    def __init__(self):\n"
+        "        self.members = {}\n"
+        "\n"
+        "    def roster(self, scheduler, cb):\n"
+        "        order = sorted(set(self.members))\n"
+        "        for name, state in self.members.items():\n"
+        "            self.last = name\n"
+        "        scheduler.after_call(len(order), cb)\n"
+    )
+    findings, _ = analyze_sources([("src/repro/membership/view.py", clean)])
+    assert findings == []
+
+
+def test_rl012_set_order_reaching_protocol_state():
+    tainted = (
+        "class View:\n"
+        "    def pick(self):\n"
+        "        for peer in set(self.peers):\n"
+        "            self.leader = peer\n"
+        "            break\n"
+    )
+    findings, _ = analyze_sources([("src/repro/membership/view.py", tainted)])
+    assert _codes(findings) == ["RL012"]
+    assert "set-order" in findings[0].message
+    assert "protocol state" in findings[0].message
+
+
+# -------------------------------------------------- RL013 handler census
+
+
+_KINDS = (
+    "class PingProbe:\n"
+    "    def __init__(self, n):\n"
+    "        self.n = n\n"
+    "\n"
+    "\n"
+    "class RetiredMsg:\n"
+    "    pass\n"
+)
+
+
+def test_rl013_unhandled_kind_and_dead_handler():
+    layer = (
+        "from repro.proto.kinds import PingProbe, RetiredMsg\n"
+        "\n"
+        "\n"
+        "class Prober:\n"
+        "    def __init__(self, process):\n"
+        "        self._process = process\n"
+        "        process.on(RetiredMsg, self._on_retired)\n"
+        "\n"
+        "    def probe(self, dst):\n"
+        "        self._process.send(dst, PingProbe(1))\n"
+        "\n"
+        "    def _on_retired(self, payload, sender):\n"
+        "        pass\n"
+    )
+    findings, _ = analyze_sources(
+        [("src/repro/proto/kinds.py", _KINDS), ("src/repro/proto/layer.py", layer)]
+    )
+    assert _codes(findings) == ["RL013", "RL013"]
+    by_message = sorted(f.message for f in findings)
+    assert "dead handler: RetiredMsg" in by_message[0]
+    assert "PingProbe has no registered handler" in by_message[1]
+    # the census cites both the construction and the send site
+    assert "constructed at" in by_message[1] and "sent at" in by_message[1]
+
+
+def test_rl013_registered_and_sent_kind_is_quiet():
+    layer = (
+        "from repro.proto.kinds import PingProbe\n"
+        "\n"
+        "\n"
+        "class Prober:\n"
+        "    def __init__(self, process):\n"
+        "        self._process = process\n"
+        "        process.on(PingProbe, self._on_probe)\n"
+        "\n"
+        "    def probe(self, dst):\n"
+        "        self._process.send(dst, PingProbe(1))\n"
+        "\n"
+        "    def _on_probe(self, payload, sender):\n"
+        "        pass\n"
+    )
+    findings, _ = analyze_sources(
+        [("src/repro/proto/kinds.py", _KINDS), ("src/repro/proto/layer.py", layer)]
+    )
+    assert _codes(findings) == []
+
+
+# --------------------------------------------------- RL014 await atomicity
+
+
+def test_rl014_read_modify_write_across_await():
+    backend = (
+        "class Fabric:\n"
+        "    def __init__(self):\n"
+        "        self._in_flight = 0\n"
+        "\n"
+        "    async def drain_one(self):\n"
+        "        n = self._in_flight\n"
+        "        await self._pump()\n"
+        "        self._in_flight = n - 1\n"
+        "\n"
+        "    async def _pump(self):\n"
+        "        pass\n"
+    )
+    findings, _ = analyze_sources(
+        [("src/repro/runtime/asyncio_backend.py", backend)]
+    )
+    assert _codes(findings) == ["RL014"]
+    message = findings[0].message
+    assert "read-modify-write of shared self._in_flight" in message
+    assert "read (" in message and "await (" in message
+    assert "stale write (" in message
+
+
+def test_rl014_fresh_reread_and_load_only_polling_are_quiet():
+    backend = (
+        "class Fabric:\n"
+        "    def __init__(self):\n"
+        "        self._in_flight = 0\n"
+        "\n"
+        "    async def drain_one(self):\n"
+        "        await self._pump()\n"
+        "        n = self._in_flight\n"
+        "        self._in_flight = n - 1\n"
+        "\n"
+        "    async def poll(self):\n"
+        "        while self._in_flight > 0:\n"
+        "            await self._sleep()\n"
+        "\n"
+        "    async def _pump(self):\n"
+        "        pass\n"
+        "\n"
+        "    async def _sleep(self):\n"
+        "        pass\n"
+    )
+    findings, _ = analyze_sources(
+        [("src/repro/runtime/asyncio_backend.py", backend)]
+    )
+    assert _codes(findings) == []
+
+
+def test_flow_findings_respect_per_line_suppression():
+    backend = (
+        "class Fabric:\n"
+        "    async def drain_one(self):\n"
+        "        n = self._in_flight\n"
+        "        await self._pump()\n"
+        "        self._in_flight = n - 1  # repro-lint: disable=RL014\n"
+        "\n"
+        "    async def _pump(self):\n"
+        "        pass\n"
+    )
+    findings, _ = analyze_sources(
+        [("src/repro/runtime/asyncio_backend.py", backend)]
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------- live tree
+
+
+def test_live_tree_is_flow_clean_and_fast():
+    findings, stats = analyze_paths(
+        [str(REPO_ROOT / "src" / "repro")], repo_root=REPO_ROOT
+    )
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"flow findings on the live tree:\n{rendered}"
+    # non-vacuity: the model actually resolved the tree
+    assert stats["functions"] > 500
+    assert stats["call_edges"] > 400
+    # acceptance bound: whole-program pass stays well under 10s
+    assert stats["elapsed_seconds"] < 10.0
+
+
+def test_cli_flow_smoke():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint", "src/repro", "--flow",
+         "--check-baseline"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "flow:" in proc.stdout
+    assert "call edges" in proc.stdout
+
+
+def test_cli_json_and_sarif_reports(tmp_path):
+    json_path = tmp_path / "flow.json"
+    sarif_path = tmp_path / "flow.sarif"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.lint",
+            "src/repro",
+            "--json",
+            str(json_path),
+            "--sarif",
+            str(sarif_path),
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(json_path.read_text())
+    assert set(FLOW_CODES) == {"RL012", "RL013", "RL014"}
+    assert report["stats"]["functions"] > 0
+    assert isinstance(report["findings"], list)
+    sarif = json.loads(sarif_path.read_text())
+    assert sarif["version"] == "2.1.0"
+    rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+    assert {r["id"] for r in rules} >= set(FLOW_CODES)

@@ -2,10 +2,14 @@
 
 Usage::
 
-    PYTHONPATH=src python -m tools.lint src/repro
+    PYTHONPATH=src python -m tools.lint src/repro --flow --check-baseline
 
-See docs/devtools.md for the rule catalogue (RL001…RL007), the per-line
-suppression syntax and the baseline workflow.
+Per-file rules RL001…RL011 run always; ``--flow`` adds the
+whole-program passes (RL012 interprocedural determinism taint, RL013
+handler exhaustiveness, RL014 await-atomicity) from
+:mod:`tools.lint.flow`.  See docs/devtools.md for the rule catalogue,
+the per-line suppression syntax, the baseline workflow and the
+"Whole-program analysis" guide.
 """
 
 from tools.lint.engine import (

@@ -63,15 +63,43 @@ def _context_for(path: str) -> LintContext:
     )
 
 
-def _suppressed_lines(source: str) -> Dict[int, set]:
-    """Map line number -> set of codes disabled on that line."""
+def _suppressed_lines(source: str, tree: Optional[ast.AST] = None) -> Dict[int, set]:
+    """Map line number -> set of codes disabled on that line.
+
+    With a parsed ``tree``, a ``disable=`` comment on the *first physical
+    line* of a multi-line statement covers the statement's continuation
+    lines too — rules report findings at the sub-expression's line, which
+    for a wrapped call is not the line carrying the comment.  Compound
+    statements (``for``/``if``/``def`` …) only extend over their own
+    header, never into their body.
+    """
     out: Dict[int, set] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(line)
         if match:
             codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
             out[lineno] = codes
+    if tree is not None and out:
+        _extend_suppressions(tree, out)
     return out
+
+
+def _extend_suppressions(tree: ast.AST, out: Dict[int, set]) -> None:
+    """Spread first-line ``disable=`` codes over statement continuations."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        codes = out.get(node.lineno)
+        if not codes:
+            continue
+        body = getattr(node, "body", None)
+        if body:  # compound statement: cover the header only
+            first = body[0]
+            end = getattr(first, "lineno", node.lineno) - 1
+        else:
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        for lineno in range(node.lineno + 1, end + 1):
+            out.setdefault(lineno, set()).update(codes)
 
 
 def lint_source(
@@ -95,7 +123,7 @@ def lint_source(
                 hint="fix the syntax error",
             )
         ]
-    suppressed = _suppressed_lines(source)
+    suppressed = _suppressed_lines(source, tree)
     findings: List[Finding] = []
     for rule_cls in ALL_RULES:
         rule = rule_cls(ctx)
@@ -201,16 +229,52 @@ def render_report(
     return "\n".join(lines)
 
 
+def stale_baseline_entries(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[str]:
+    """Baseline buckets that no longer fire at all (count 0 in the
+    current tree): grandfathered debt that has been paid off must leave
+    the baseline so it can never silently regrow."""
+    live: Dict[str, int] = {}
+    for finding in findings:
+        key = f"{finding.path}::{finding.code}"
+        live[key] = live.get(key, 0) + 1
+    return sorted(key for key in baseline if live.get(key, 0) == 0)
+
+
 def run(
     roots: Sequence[str],
     baseline_path: Optional[Path] = None,
     update_baseline: bool = False,
     repo_root: Optional[Path] = None,
+    flow: bool = False,
+    check_baseline: bool = False,
 ) -> Tuple[int, str]:
-    """Full lint run; returns (exit_code, report_text)."""
+    """Full lint run; returns (exit_code, report_text).
+
+    ``flow=True`` adds the whole-program passes (RL012–RL014) on top of
+    the per-file rules; their findings ride the same suppression and
+    baseline machinery.  ``check_baseline=True`` additionally fails on
+    stale baseline entries (grandfathered buckets that no longer fire).
+    """
     baseline_path = baseline_path or DEFAULT_BASELINE
     files = list(iter_python_files(roots))
     findings = lint_paths(roots, repo_root=repo_root)
+    flow_note = ""
+    if flow:
+        from tools.lint.flow import analyze_paths
+
+        flow_findings, flow_stats = analyze_paths(roots, repo_root=repo_root)
+        findings = sorted(
+            [*findings, *flow_findings],
+            key=lambda f: (f.path, f.line, f.col, f.code),
+        )
+        flow_note = (
+            f"flow: {flow_stats['functions']} functions, "
+            f"{flow_stats['call_edges']} call edges, "
+            f"{flow_stats['findings']} finding(s) in "
+            f"{flow_stats['elapsed_seconds']}s\n"
+        )
     if update_baseline:
         save_baseline(baseline_path, findings)
         return 0, (
@@ -220,4 +284,16 @@ def run(
     baseline = load_baseline(baseline_path)
     regressions, grandfathered = new_findings(findings, baseline)
     report = render_report(regressions, grandfathered, total_files=len(files))
-    return (1 if regressions else 0), report
+    exit_code = 1 if regressions else 0
+    if check_baseline:
+        stale = stale_baseline_entries(findings, baseline)
+        if stale:
+            stale_lines = "\n".join(f"stale baseline entry: {key}" for key in stale)
+            report = (
+                f"{stale_lines}\n"
+                f"{report}\n"
+                "repro-lint: baseline hygiene FAIL — entries above no longer "
+                "fire; shrink the baseline (rerun with --update-baseline)"
+            )
+            exit_code = 1
+    return exit_code, flow_note + report

@@ -1,0 +1,34 @@
+"""Whole-program (interprocedural) analysis layer for repro-lint.
+
+Three passes over a project-wide symbol table + call graph:
+
+* **RL012** — determinism taint: wall-clock / unseeded-random / identity
+  / set-order values tracked through helpers into scheduler deadlines,
+  message payloads, protocol state and digest inputs, reported with the
+  full source → sink call chain (:mod:`tools.lint.flow.taint`);
+* **RL013** — handler exhaustiveness: every wire-sent message kind has a
+  registered handler, and no handler is dead
+  (:mod:`tools.lint.flow.handlers`);
+* **RL014** — await-atomicity: no read-modify-write of shared runtime
+  state spanning a suspension point in async code
+  (:mod:`tools.lint.flow.atomicity`).
+
+Run via ``python -m tools.lint src/repro --flow`` (docs/devtools.md,
+"Whole-program analysis").
+"""
+
+from tools.lint.flow.analysis import (
+    FLOW_CODES,
+    analyze_paths,
+    analyze_project,
+    analyze_sources,
+    build_project_from_paths,
+)
+
+__all__ = [
+    "FLOW_CODES",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_sources",
+    "build_project_from_paths",
+]

@@ -1,0 +1,101 @@
+"""Orchestration: build the project model, run the three flow passes.
+
+Entry point::
+
+    from tools.lint.flow import analyze_paths
+    findings, stats = analyze_paths(["src/repro"])
+
+Findings come back as the same :class:`~tools.lint.rules.Finding` type
+the per-file rules emit, so the engine's suppression comments, baseline
+buckets and report rendering apply unchanged.
+"""
+
+from __future__ import annotations
+
+import time as _time  # tooling measures wall time on purpose; not simulation code
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from tools.lint.flow import atomicity, handlers, taint
+from tools.lint.flow.callgraph import Resolver, build_call_graph
+from tools.lint.flow.symbols import Project
+from tools.lint.rules import Finding
+
+FLOW_CODES = (taint.CODE, handlers.CODE, atomicity.CODE)
+
+
+def _default_is_protocol(path: str) -> bool:
+    from tools.lint.engine import _context_for
+
+    return _context_for(path).is_protocol
+
+
+def build_project_from_paths(
+    roots: Sequence[str], repo_root: Optional[Path] = None
+) -> Project:
+    from tools.lint.engine import _suppressed_lines, iter_python_files
+
+    repo_root = repo_root or Path.cwd()
+    project = Project()
+    for file_path in iter_python_files(roots):
+        try:
+            shown = file_path.resolve().relative_to(repo_root.resolve()).as_posix()
+        except ValueError:
+            shown = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        mod = project.add_module(shown, source)
+        if mod is not None:
+            mod.suppressed = _suppressed_lines(source, mod.tree)
+    return project
+
+
+def analyze_project(project: Project) -> Tuple[List[Finding], Dict]:
+    started = _time.perf_counter()
+    resolver = Resolver(project)
+    edges = build_call_graph(project, resolver)
+    findings: List[Finding] = []
+    findings.extend(taint.analyze(project, resolver, _default_is_protocol))
+    findings.extend(handlers.analyze(project, resolver))
+    findings.extend(atomicity.analyze(project))
+
+    # the engine's per-line suppression applies to flow findings too
+    kept: List[Finding] = []
+    for finding in findings:
+        mod = next(
+            (m for m in project.modules.values() if m.path == finding.path), None
+        )
+        if mod is not None and finding.code in mod.suppressed.get(finding.line, ()):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code, f.message))
+
+    stats = {
+        "modules": len(project.modules),
+        "functions": len(project.functions),
+        "classes": len(project.classes),
+        "call_edges": len(edges),
+        "findings": len(kept),
+        "elapsed_seconds": round(_time.perf_counter() - started, 3),
+    }
+    return kept, stats
+
+
+def analyze_paths(
+    roots: Sequence[str], repo_root: Optional[Path] = None
+) -> Tuple[List[Finding], Dict]:
+    """Whole-program analysis over every .py file under ``roots``."""
+    return analyze_project(build_project_from_paths(roots, repo_root=repo_root))
+
+
+def analyze_sources(
+    files: Sequence[Tuple[str, str]]
+) -> Tuple[List[Finding], Dict]:
+    """Analyze in-memory ``(path, source)`` pairs — the test fixture path."""
+    from tools.lint.engine import _suppressed_lines
+
+    project = Project()
+    for path, source in files:
+        mod = project.add_module(path, source)
+        if mod is not None:
+            mod.suppressed = _suppressed_lines(source, mod.tree)
+    return analyze_project(project)

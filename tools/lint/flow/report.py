@@ -1,0 +1,132 @@
+"""Machine-readable output for CI: JSON and SARIF 2.1.0.
+
+The JSON shape is the flow analyzer's own (stable, documented in
+docs/devtools.md); SARIF is the interchange format GitHub code scanning
+and most CI annotators ingest directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from tools.lint.rules import Finding, RULES_BY_CODE
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://example.invalid/repro-lint"  # placeholder project URI
+
+
+def _rule_catalogue() -> Dict[str, Dict]:
+    """Every rule the tool can emit — per-file RL001…RL011 plus the
+    whole-program passes — so a clean run still advertises coverage."""
+    from tools.lint.flow import atomicity, handlers, taint
+
+    catalogue: Dict[str, Dict] = {}
+    for code, rule in sorted(RULES_BY_CODE.items()):
+        catalogue[code] = {
+            "id": code,
+            "shortDescription": {"text": rule.title},
+            "help": {"text": rule.hint},
+        }
+    for code, title, hint in (
+        (taint.CODE, "nondeterminism taint reaches a protocol sink", taint.HINT),
+        (handlers.CODE, "message kind without a live handler", handlers.HINT_UNHANDLED),
+        (
+            atomicity.CODE,
+            "read-modify-write of shared state spans an await",
+            atomicity.HINT,
+        ),
+    ):
+        catalogue[code] = {
+            "id": code,
+            "shortDescription": {"text": title},
+            "help": {"text": hint},
+        }
+    return catalogue
+
+
+def findings_to_json(findings: Sequence[Finding], stats: Dict) -> Dict:
+    return {
+        "tool": TOOL_NAME,
+        "stats": dict(stats),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in findings
+        ],
+    }
+
+
+def findings_to_sarif(findings: Sequence[Finding]) -> Dict:
+    rules = _rule_catalogue()
+    results: List[Dict] = []
+    for f in findings:
+        rules.setdefault(
+            f.code,
+            {
+                "id": f.code,
+                "shortDescription": {"text": f.code},
+                "help": {"text": f.hint},
+            },
+        )
+        results.append(
+            {
+                "ruleId": f.code,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": max(f.line, 1),
+                                "startColumn": max(f.col + 1, 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": sorted(rules.values(), key=lambda r: r["id"]),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_json(path: Path, findings: Sequence[Finding], stats: Dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(findings_to_json(findings, stats), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def write_sarif(path: Path, findings: Sequence[Finding]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(findings_to_sarif(findings), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

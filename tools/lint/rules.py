@@ -28,7 +28,22 @@ delivery digests):
   :mod:`repro.runtime.api`;
 * transport acks are private to ``repro/transport/`` — a layer that
   hand-builds a ``SegmentAck`` bypasses the delayed/piggybacked-ack
-  bookkeeping (RL010).
+  bookkeeping (RL010);
+* the event-core hot loops must not let per-event allocations *escape*
+  the iteration (RL011) — loop-local scratch that dies in place is fine,
+  a closure handed to the scheduler or a container stored onto an
+  attribute is not.
+
+Beyond these per-file rules, ``tools/lint/flow`` adds three
+whole-program passes over a project-wide call graph (run with
+``--flow``): RL012 interprocedural determinism taint (wall-clock /
+random / identity / set-order values reaching scheduler deadlines,
+payload fields, protocol state or digest inputs, reported with the full
+source→sink chain), RL013 handler exhaustiveness (every wire-sent
+message kind has a registered handler; no dead handlers) and RL014
+await-atomicity (no read-modify-write of shared state spanning an
+``await``).  Flow findings reuse this module's :class:`Finding` type so
+suppression and baselines apply unchanged.
 """
 
 from __future__ import annotations
@@ -565,82 +580,205 @@ class SegmentAckRule(Rule):
         self.generic_visit(node)
 
 
+#: Callees that consume a container/closure in place: the argument dies
+#: inside the call, so nothing outlives the loop iteration.
+_SAFE_CONSUMERS = {
+    "sorted",
+    "min",
+    "max",
+    "len",
+    "sum",
+    "any",
+    "all",
+    "tuple",
+    "frozenset",
+    "heapify",
+    "join",
+}
+
+_ALLOC_WHAT = {
+    ast.Lambda: "closure (lambda)",
+    ast.List: "list literal",
+    ast.Dict: "dict literal",
+    ast.Set: "set literal",
+    ast.ListComp: "list comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.SetComp: "set comprehension",
+}
+
+
 class HotLoopAllocationRule(Rule):
-    """RL011: no per-event allocations in the event-core hot loops.
+    """RL011: no *escaping* per-event allocations in the event-core hot loops.
 
     The zero-allocation discipline (docs/simulator.md, "Sharded scheduler
     & allocation discipline") is a measured property: the scheduler and
-    network steady state must not construct objects per event, or the
-    free lists are pure overhead and the allocation probe in
-    ``tools/perf_report.py`` regresses.  This rule flags the allocation
-    forms that historically crept into these loops — closures (lambda /
-    nested def) and container literals or comprehensions — when they sit
-    inside a ``for``/``while`` loop in a hot-loop file (scheduler,
-    sharded scheduler, network).
+    network steady state must not hand freshly built objects to the rest
+    of the system per event, or the free lists are pure overhead and the
+    allocation probe in ``tools/perf_report.py`` regresses.
 
-    A deliberate, measured allocation (e.g. the compaction pass, which
-    runs amortised-rarely) is opted out per line with
+    The rule flags closures (lambda / nested def) and container literals
+    or comprehensions inside a ``for``/``while`` loop of a hot-loop file
+    (scheduler, sharded scheduler, network) — but only when the object
+    *escapes* the iteration: passed to a non-consuming call (a scheduled
+    callback, ``append`` into a surviving container, a wire send), stored
+    onto an attribute or attribute-held container, or returned.  Loop-
+    local scratch that dies within its iteration, immediately-invoked
+    nested defs, and arguments consumed in place (``sorted``/``len``/
+    ``heapify``…) stay quiet, as does the amortised compaction idiom of
+    swapping a rebuilt list into an existing local slot (``heaps[i] =
+    live``).  Genuinely deliberate escapes are opted out per line with
     ``# repro-lint: disable=RL011``.
     """
 
     code = "RL011"
-    title = "per-event allocation inside an event-core hot loop"
+    title = "per-event allocation escaping an event-core hot loop"
     hint = (
         "hoist the allocation out of the loop or draw from a free list "
         "(self._event_pool / self._arg_pool / self._env_pool); if the "
-        "allocation is deliberately amortised (compaction, setup), "
+        "escape is deliberately amortised (compaction, setup), "
         "disable RL011 on that line"
     )
 
-    def __init__(self, ctx: LintContext) -> None:
-        super().__init__(ctx)
-        self._loop_depth = 0
-
     def _visit_loop(self, node: ast.AST) -> None:
-        if not self.ctx.hot_event_loop:
-            return
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
+        # One walk over the outermost hot loop covers nested loops too;
+        # generic_visit is deliberately skipped to avoid double-flagging.
+        if self.ctx.hot_event_loop:
+            self._analyze_loop(node)
 
     visit_For = _visit_loop
     visit_While = _visit_loop
 
-    def _flag_if_hot(self, node: ast.AST, what: str) -> None:
-        if self._loop_depth > 0:
-            self.flag(node, f"{what} allocated inside a hot event loop")
+    def _analyze_loop(self, loop: ast.AST) -> None:
+        parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(loop):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(loop):
+            if isinstance(node, tuple(_ALLOC_WHAT)):
+                what = _ALLOC_WHAT[type(node)]
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                what = "closure (nested def)"
+            else:
+                continue
+            escape = self._escape_of(node, parents, loop)
+            if escape:
+                self.flag(
+                    node,
+                    f"{what} escapes per event from a hot event loop ({escape})",
+                )
 
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        self._flag_if_hot(node, "closure (lambda)")
-        self.generic_visit(node)
+    def _escape_of(
+        self,
+        node: ast.AST,
+        parents: Dict[ast.AST, ast.AST],
+        root: ast.AST,
+    ) -> Optional[str]:
+        """How ``node`` outlives its loop iteration, or None if it dies."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def escapes iff its *name* does (a bare local
+            # invocation is fine — the closure dies with the iteration).
+            return self._name_escape(node.name, parents, root)
+        parent = parents.get(node)
+        if isinstance(parent, (ast.List, ast.Set, ast.Dict, ast.Tuple, ast.Starred)):
+            # nested inside another literal: shares the outer one's fate
+            return self._escape_of(parent, parents, root)
+        if isinstance(parent, ast.keyword):
+            return self._call_escape(parents.get(parent))
+        if isinstance(parent, ast.Call) and node in parent.args:
+            return self._call_escape(parent)
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return "returned from the enclosing function"
+        if isinstance(parent, ast.Assign):
+            return self._assign_escape(parent.targets, parents, root)
+        if isinstance(parent, (ast.AnnAssign, ast.AugAssign)):
+            return self._assign_escape([parent.target], parents, root)
+        # consumed in place: iteration target, comparison, subscript
+        # index, boolean test, unpacking source …
+        return None
 
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._flag_if_hot(node, "closure (nested def)")
-        self.generic_visit(node)
+    def _call_escape(self, call: Optional[ast.AST]) -> Optional[str]:
+        if not isinstance(call, ast.Call):
+            return None
+        name = None
+        if isinstance(call.func, ast.Name):
+            name = call.func.id
+        elif isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        if name in _SAFE_CONSUMERS:
+            return None
+        return f"passed to {name or 'a call'}()"
 
-    def visit_List(self, node: ast.List) -> None:
-        self._flag_if_hot(node, "list literal")
-        self.generic_visit(node)
+    def _assign_escape(
+        self,
+        targets: List[ast.expr],
+        parents: Dict[ast.AST, ast.AST],
+        root: ast.AST,
+        seen: Optional[Set[str]] = None,
+    ) -> Optional[str]:
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                return f"stored to attribute .{target.attr}"
+            if isinstance(target, ast.Subscript):
+                if isinstance(target.value, ast.Attribute):
+                    return "stored into an attribute-held container"
+                # slot swap inside an existing *local* container: the
+                # amortised compaction idiom — non-escaping.
+                continue
+            if isinstance(target, ast.Name):
+                escape = self._name_escape(target.id, parents, root, seen)
+                if escape:
+                    return escape
+        return None
 
-    def visit_Dict(self, node: ast.Dict) -> None:
-        self._flag_if_hot(node, "dict literal")
-        self.generic_visit(node)
-
-    def visit_Set(self, node: ast.Set) -> None:
-        self._flag_if_hot(node, "set literal")
-        self.generic_visit(node)
-
-    def visit_ListComp(self, node: ast.ListComp) -> None:
-        self._flag_if_hot(node, "list comprehension")
-        self.generic_visit(node)
-
-    def visit_DictComp(self, node: ast.DictComp) -> None:
-        self._flag_if_hot(node, "dict comprehension")
-        self.generic_visit(node)
-
-    def visit_SetComp(self, node: ast.SetComp) -> None:
-        self._flag_if_hot(node, "set comprehension")
-        self.generic_visit(node)
+    def _name_escape(
+        self,
+        name: str,
+        parents: Dict[ast.AST, ast.AST],
+        root: ast.AST,
+        seen: Optional[Set[str]] = None,
+    ) -> Optional[str]:
+        """Scan the loop for a use of ``name`` that lets it outlive the
+        iteration (handed to a non-consuming call, stored onto an
+        attribute, returned).  Method access (``x.append``) and slot
+        swaps into local containers stay local."""
+        seen = seen if seen is not None else set()
+        if name in seen:
+            return None
+        seen.add(name)
+        for use in ast.walk(root):
+            if not (
+                isinstance(use, ast.Name)
+                and use.id == name
+                and isinstance(use.ctx, ast.Load)
+            ):
+                continue
+            parent = parents.get(use)
+            if isinstance(parent, ast.Call):
+                if use is parent.func:
+                    continue  # local invocation of a nested def
+                escape = self._call_escape(parent)
+                if escape:
+                    return escape
+            elif isinstance(parent, ast.keyword):
+                escape = self._call_escape(parents.get(parent))
+                if escape:
+                    return escape
+            elif isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return "returned from the enclosing function"
+            elif isinstance(parent, (ast.Assign, ast.AnnAssign)):
+                escape = self._assign_escape(
+                    parent.targets
+                    if isinstance(parent, ast.Assign)
+                    else [parent.target],
+                    parents,
+                    root,
+                    seen,
+                )
+                if escape:
+                    return escape
+            # Attribute access (bound-method aliasing), iteration,
+            # comparison … stay local.
+        return None
 
 
 ALL_RULES = (

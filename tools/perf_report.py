@@ -924,10 +924,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Benchmark numbers (and their behaviour fingerprints) are only
         # comparable across runs when the tree passes the determinism
         # lint — a wall-clock read or hash-ordered loop would make the
-        # fingerprints themselves flaky.
+        # fingerprints themselves flaky.  flow=True adds the
+        # whole-program passes: interprocedurally laundered wall-clock
+        # or set-order taint flakes fingerprints just as surely as the
+        # per-file patterns.
         from tools.lint import run as lint_run
 
-        lint_code, lint_report = lint_run(["src/repro"])
+        lint_code, lint_report = lint_run(["src/repro"], flow=True)
         if lint_code != 0:
             print(lint_report)
             print("perf_report: refusing to benchmark a nondeterministic tree")
