@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline analyze sanitize smoke-asyncio trace bench bench-report bench-guard bench-quick bench-tables bench-comm perf-smoke clean
+.PHONY: test lint lint-baseline analyze sanitize smoke-asyncio smoke-socket trace bench bench-report bench-guard bench-quick bench-tables bench-comm bench-wire perf-smoke clean
 
 ## Tier-1: unit + integration tests (includes the quick perf smoke and
-## the asyncio backend smoke, marker: asyncio_smoke).
+## the backend smokes, markers: asyncio_smoke, socket_smoke).
 test:
 	$(PYTHON) -m pytest -x -q
 
@@ -34,6 +34,14 @@ sanitize:
 ## hang in ways the simulator cannot — never let CI wait on it).
 smoke-asyncio:
 	timeout 60 $(PYTHON) -m repro live --workers 6 --time-scale 0.1
+
+## Deployment smoke: both parity scenarios as three real OS processes
+## over loopback UDP (tracker bootstrap, wire codec, per-node
+## sanitizers), each checked against the sim reference and under the
+## same hard timeout (docs/deployment.md).
+smoke-socket:
+	timeout 60 $(PYTHON) -m repro deploy --nodes 3 --scenario flat
+	timeout 60 $(PYTHON) -m repro deploy --nodes 3 --scenario hier
 
 ## Causal-trace demo: one request + one treecast through a hierarchical
 ## service, audited against E1 (2n messages) and E8 (log-depth stages);
@@ -71,6 +79,13 @@ bench-quick:
 ## both engines.  Writes BENCH_comm.json.
 bench-comm:
 	$(PYTHON) -m tools.perf_report --comm
+
+## Real-UDP wire report (docs/deployment.md): the hierarchical parity
+## scenario (16 workers) as a 4-node loopback cluster, frames/bytes on
+## the wire per checked delivery, gated on parity with the sim
+## reference.  Writes BENCH_wire.json.
+bench-wire:
+	$(PYTHON) -m tools.perf_report --wire
 
 ## Regenerate the experiment-table capture under docs/ (single pass,
 ## timing loop disabled, hash seed pinned).  A root-level

@@ -7,6 +7,7 @@ Usage::
     python -m repro factory  --cells 120  --duration 8
     python -m repro scale    --workers 64 # hierarchy vs flat cost table
     python -m repro live     --workers 6  # same protocols on wall-clock asyncio
+    python -m repro deploy   --nodes 3 --scenario flat   # real OS processes, UDP
 """
 
 from __future__ import annotations
@@ -176,6 +177,46 @@ def cmd_live(args: argparse.Namespace) -> int:
         runtime.close()
 
 
+def cmd_deploy(args: argparse.Namespace) -> int:
+    """Run a parity scenario as real OS processes over loopback UDP.
+
+    Every node is its own interpreter with its own socket; all group
+    traffic crosses the kernel as wire frames.  The merged outcome is
+    checked against a fresh sim-engine run of the same plan and the
+    strict per-node sanitizers; exits non-zero on any divergence.
+    """
+    from repro.deploy import run_deployment
+
+    outcome = run_deployment(
+        args.scenario,
+        nodes=args.nodes,
+        size=args.size,
+        time_scale=args.time_scale,
+    )
+    print(f"scenario:  {outcome.scenario}  ({outcome.nodes} OS processes)")
+    wire = outcome.wire
+    if wire:
+        print(
+            f"wire:      {wire.get('frames_sent', 0)} frames / "
+            f"{wire.get('wire_bytes_sent', 0)} bytes sent, "
+            f"{wire.get('envelopes_sent', 0)} envelopes, "
+            f"{wire.get('decode_errors', 0)} decode errors"
+        )
+    counters = outcome.live.get("counters", {})
+    if counters:
+        print(
+            f"sanitizer: {counters.get('deliveries_checked', 0)} deliveries "
+            f"checked, {counters.get('violations', 0)} violations"
+        )
+    if outcome.errors:
+        print("FAIL: deployment diverged from the sim reference")
+        for error in outcome.errors:
+            print(f"  - {error}")
+        return 1
+    print("deployment parity held: sanitizer-clean across real processes.")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,6 +255,27 @@ def main(argv=None) -> int:
         help="wall seconds per logical second (0.1 = 10x faster than real time)",
     )
     p_live.set_defaults(fn=cmd_live)
+
+    p_deploy = sub.add_parser(
+        "deploy", help="run a parity scenario as real OS processes over UDP"
+    )
+    p_deploy.add_argument("--nodes", type=int, default=3)
+    p_deploy.add_argument(
+        "--scenario", choices=("flat", "hier"), default="flat"
+    )
+    p_deploy.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="group members (flat) or workers (hier); scenario default if unset",
+    )
+    p_deploy.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.25,
+        help="wall seconds per logical second",
+    )
+    p_deploy.set_defaults(fn=cmd_deploy)
 
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

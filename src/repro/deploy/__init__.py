@@ -1,0 +1,23 @@
+"""Multi-process deployment: tracker bootstrap over real sockets.
+
+The production on-ramp (docs/deployment.md): ``launcher`` spawns N OS
+processes, each hosting a slice of a scenario's logical processes on a
+:class:`~repro.runtime.socket_backend.SocketRuntime`; ``tracker`` is the
+UDP control plane they register with (peer exchange, start barrier,
+result collection, shutdown fan-out); ``scenarios`` defines the flat and
+hierarchical parity scenarios every node — and the in-process sim
+reference the launcher checks against — executes identically.
+"""
+
+from repro.deploy.cluster import LoopbackCluster
+from repro.deploy.launcher import DeployOutcome, run_deployment
+from repro.deploy.scenarios import FlatScenario, HierScenario, make_scenario
+
+__all__ = [
+    "DeployOutcome",
+    "FlatScenario",
+    "HierScenario",
+    "LoopbackCluster",
+    "make_scenario",
+    "run_deployment",
+]

@@ -1,0 +1,65 @@
+"""Deploy control-plane message kinds (wire ids 64-69).
+
+The tracker handshake (docs/deployment.md):
+
+1. node → tracker  :class:`NodeRegister` (resent until acked);
+2. tracker → node  :class:`RegisterAck`;
+3. tracker → all   :class:`PeerList` once every node registered — this
+   is the start barrier; a node that re-registers after the barrier is
+   re-sent the list (datagram loss recovery);
+4. node → tracker  :class:`NodeResult` (resent until shut down);
+5. tracker → all   :class:`ShutdownCmd` once every result arrived.
+
+Registered with the :mod:`repro.net.wire` codec at import — in the 64+
+id range reserved for the control plane, keeping ``net`` below
+``deploy`` in the layering (the protocol table in
+``repro.net.wire.registry`` never imports this package).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+from repro.net.wire.codec import register_kind
+
+
+@dataclass
+class NodeRegister:
+    """A node announcing itself: index + data-plane UDP endpoint."""
+
+    node: int
+    host: str
+    port: int
+
+
+@dataclass
+class RegisterAck:
+    node: int
+
+
+@dataclass
+class PeerList:
+    """The start barrier: every node's data endpoint, by node index."""
+
+    peers: Tuple[Any, ...] = field(default_factory=tuple)  # (node, host, port)
+
+
+@dataclass
+class NodeResult:
+    """A node's scenario outcome (or {'error': traceback} on failure)."""
+
+    node: int
+    payload: Any = None
+
+
+@dataclass
+class ShutdownCmd:
+    pass
+
+
+register_kind(64, NodeRegister)
+register_kind(65, RegisterAck)
+register_kind(66, PeerList)
+register_kind(67, NodeResult)
+register_kind(68, ShutdownCmd)

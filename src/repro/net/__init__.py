@@ -1,4 +1,5 @@
-"""Simulated datagram network: latency models, partitions, multicast, stats."""
+"""Datagram network: latency models, partitions, multicast, stats, and
+the versioned wire codec the socket backend deploys over."""
 
 from repro.net.latency import (
     FixedLatency,
@@ -20,14 +21,26 @@ from repro.net.network import Network
 from repro.net.packer import CommsParams, Packer, default_pack_window
 from repro.net.partition import PartitionManager
 from repro.net.stats import NetworkStats, StatsSnapshot
+from repro.net.wire import (
+    CodecError,
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    decode_frame,
+    encode_control_frame,
+    encode_data_frames,
+    register_kind,
+)
 
 __all__ = [
     "Address",
+    "CodecError",
     "CommsParams",
     "DEFAULT_PAYLOAD_BYTES",
     "Envelope",
     "FixedLatency",
     "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "WIRE_VERSION",
     "LanLatency",
     "LatencyModel",
     "Network",
@@ -37,7 +50,11 @@ __all__ = [
     "SiteLatency",
     "StatsSnapshot",
     "UniformLatency",
+    "decode_frame",
     "default_pack_window",
+    "encode_control_frame",
+    "encode_data_frames",
+    "register_kind",
     "payload_category",
     "payload_meta",
     "payload_size",

@@ -447,6 +447,14 @@ class Network:
             envelope.trace = None
             pool.append(envelope)
 
+    def deliver_inbound(self, envelope: Envelope) -> None:
+        """Deliver a datagram that arrived from a remote fabric (the
+        socket backend's receive path).  Runs the normal local delivery
+        pipeline — stats, taps, trace, endpoint dispatch, drop on unknown
+        destination — on an envelope decoded from the wire, which then
+        joins this network's free list like any locally built one."""
+        self._deliver(envelope)
+
     def _deliver(self, envelope: Envelope) -> None:
         deliver = self._endpoints.get(envelope.dst)
         if deliver is None:

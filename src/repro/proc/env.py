@@ -73,6 +73,13 @@ class Environment:
             fabric=self.runtime.fabric,
             pack_window=self.comms.pack_window,
         )
+        # A deployment fabric (the socket backend) needs the network for
+        # its receive path — inbound frames enter the normal delivery
+        # pipeline — and for counting codec failures as datagram drops.
+        # Duck-typed so this layer stays ignorant of engine internals.
+        bind_network = getattr(self.runtime.fabric, "bind_network", None)
+        if bind_network is not None:
+            bind_network(self.network)
         self._processes: Dict[str, "Process"] = {}
         self._crash_listeners: list = []
 

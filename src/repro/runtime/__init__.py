@@ -6,7 +6,10 @@ and ships two of them:
 * :class:`SimRuntime` — the deterministic discrete-event engine
   (default; a thin adapter over ``repro.sim``);
 * :class:`AsyncioRuntime` — wall-clock timers on an asyncio event loop
-  with an in-memory asyncio message fabric.
+  with an in-memory asyncio message fabric;
+* :class:`SocketRuntime` — the asyncio engine with a UDP
+  :class:`SocketFabric`: remote destinations (per its address book) go
+  over real sockets as :mod:`repro.net.wire` frames (docs/deployment.md).
 
 Everything above this layer (processes, network, transport, membership,
 broadcast, hierarchy, toolkit, workloads) is engine-agnostic; rule RL009
@@ -33,12 +36,16 @@ from repro.runtime.asyncio_backend import (
     WallClockError,
 )
 from repro.runtime.sim_backend import SimRuntime
+from repro.runtime.socket_backend import SocketFabric, SocketRuntime, run_cluster
 from repro.sim.rand import SimRandom
 
 __all__ = [
     "AsyncioFabric",
     "AsyncioRuntime",
     "AsyncioTimers",
+    "SocketFabric",
+    "SocketRuntime",
+    "run_cluster",
     "MessageFabric",
     "PeriodicHandle",
     "Runtime",

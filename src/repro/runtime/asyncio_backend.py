@@ -118,6 +118,18 @@ class AsyncioTimers:
         """Number of queued live callbacks (timers + in-flight messages)."""
         return self._live
 
+    def reset_epoch(self) -> None:
+        """Restart logical time at zero.  Deployment bootstrap runs
+        between runtime construction and the start barrier (socket binds,
+        tracker registration), and scenario schedules are absolute
+        logical times — every node's t=0 must be the barrier release,
+        not its construction.  Only legal while nothing is queued."""
+        if self._live > 0:
+            raise WallClockError(
+                "cannot reset the clock with timers queued"
+            )
+        self._epoch = self._loop.time()
+
     # -- scheduling ----------------------------------------------------------
 
     def at(self, time: float, fn: Callable[[], None]) -> AsyncioTimerHandle:

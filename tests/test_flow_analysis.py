@@ -161,6 +161,45 @@ def test_rl013_registered_and_sent_kind_is_quiet():
     assert _codes(findings) == []
 
 
+def test_rl013_census_covers_control_endpoint_sends():
+    # The deploy tracker's UDP control plane dispatches by payload class
+    # exactly like Process: a kind sent through a ControlEndpoint with no
+    # handler registered anywhere is the same silent protocol hole.
+    kinds = "class StatusPing:\n    pass\n"
+    unhandled = (
+        "from repro.proto.kinds import StatusPing\n"
+        "\n"
+        "\n"
+        "class Reporter:\n"
+        "    def __init__(self, endpoint):\n"
+        "        self._endpoint = endpoint\n"
+        "\n"
+        "    def ping(self, peer):\n"
+        "        self._endpoint.send(peer, StatusPing())\n"
+    )
+    findings, _ = analyze_sources(
+        [
+            ("src/repro/proto/kinds.py", kinds),
+            ("src/repro/proto/reporter.py", unhandled),
+        ]
+    )
+    assert _codes(findings) == ["RL013"]
+    assert "StatusPing has no registered handler" in findings[0].message
+
+    handled = unhandled.replace(
+        "        self._endpoint = endpoint\n",
+        "        self._endpoint = endpoint\n"
+        "        endpoint.on(StatusPing, self._on_ping)\n",
+    ) + "\n    def _on_ping(self, payload, sender):\n        pass\n"
+    findings, _ = analyze_sources(
+        [
+            ("src/repro/proto/kinds.py", kinds),
+            ("src/repro/proto/reporter.py", handled),
+        ]
+    )
+    assert _codes(findings) == []
+
+
 # --------------------------------------------------- RL014 await atomicity
 
 

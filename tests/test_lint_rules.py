@@ -252,6 +252,30 @@ def test_rl011_non_escaping_allocations_stay_quiet():
     ) == []
 
 
+def test_rl015_wire_serialization_outside_the_wire_layer():
+    # One frame format, one place it is written: protocol code that
+    # reaches for raw sockets or byte-level serializers is inventing a
+    # second, unversioned wire format (docs/deployment.md).
+    assert "RL015" in codes("import socket\n")
+    assert "RL015" in codes("import struct\n")
+    assert "RL015" in codes("from struct import pack\n")
+    assert "RL015" in codes("import pickle\n", path=PLAIN)
+    assert "RL015" in codes("import marshal\n")
+    assert "RL015" in codes("from json import dumps\n", path=PLAIN)
+    assert "RL015" in codes("import socket.timeout\n")
+    # The wire codec, the socket backend and the deploy control plane
+    # are the three approved homes.
+    assert codes("import struct\n", path="src/repro/net/wire/codec.py") == []
+    assert codes(
+        "import socket\n", path="src/repro/runtime/socket_backend.py"
+    ) == []
+    assert codes("import socket\n", path="src/repro/deploy/tracker.py") == []
+    # Speaking payload objects through the network is the approved idiom.
+    assert codes("process.send(peer, GroupData(*fields))\n") == []
+    # Per-line disable still works for judged exceptions.
+    assert codes("import json  # repro-lint: disable=RL015\n") == []
+
+
 def test_every_rule_has_a_code_and_hint():
     seen = set()
     for rule in ALL_RULES:

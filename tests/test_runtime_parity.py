@@ -1,23 +1,33 @@
-"""Backend parity: the same protocol scenarios on both engines.
+"""Backend parity: the same protocol scenarios on every engine.
 
 The engine contract (:mod:`repro.runtime.api`) promises that the
 protocol stack above it is engine-agnostic.  This suite holds the
-promise to account:
+promise to account with **one parity matrix over all three engines**:
 
-* a flat four-member group and a small hierarchical service each run
-  once on :class:`SimRuntime` and once on :class:`AsyncioRuntime`;
-* both runs must finish sanitizer-clean (VS001–VS006 strict mode — a
-  violation raises inside a timer callback and both engines surface it);
-* both runs must agree on the *protocol-level* outcomes: final views,
+* the scenario *plans* live in :mod:`repro.deploy.scenarios` — a flat
+  four-member group and a small hierarchical service, each a schedule of
+  absolute logical times;
+* the **sim** engine runs each plan once as the reference;
+* the **asyncio** engine runs the identical plan in one wall-clock
+  Environment;
+* the **socket** engine runs it as a loopback cluster — three
+  SocketRuntimes with real UDP sockets between them, every cross-node
+  message a codec-encoded wire frame;
+* every run must finish sanitizer-clean (VS001–VS006 strict mode — a
+  violation raises inside a callback and all engines surface it), and
+  all engines must agree on the *protocol-level* outcomes: final views,
   leaf placement, and the per-sender delivery sequence seen by every
-  receiver.
+  receiver (:meth:`scenario.check`).
 
 What is deliberately **not** compared is the global interleaving of
-deliveries across senders: the wall-clock engine races the OS, so only
+deliveries across senders: the wall-clock engines race the OS, so only
 the orders the protocols themselves enforce (per-sender FIFO, causal,
 total) are stable across engines.  The sim backend additionally must
 reproduce the frozen determinism baselines of ``test_perf_determinism``
 — the adapter is required to be a zero-behaviour-change wrapper.
+
+The full multi-OS-process rung of the same ladder is exercised by the
+``socket_smoke`` CLI test below and ``make smoke-socket``.
 """
 
 import os
@@ -26,10 +36,14 @@ import sys
 
 import pytest
 
-from repro.core import LargeGroupParams, build_large_group, build_leader_group
-from repro.membership import CAUSAL, FIFO, TOTAL, build_group
+from repro.deploy.cluster import LoopbackCluster
+from repro.deploy.scenarios import (
+    LATENCY,
+    make_scenario,
+    run_reference,
+)
+from repro.membership import CAUSAL, TOTAL, build_group
 from repro.metrics.digest import DeliveryDigest
-from repro.metrics.sanitizer import install_sanitizer
 from repro.net import FixedLatency
 from repro.proc import Environment
 from repro.runtime import AsyncioRuntime, SimRuntime
@@ -42,171 +56,131 @@ from tests.test_perf_determinism import (
     run_flat_churn_scenario,
 )
 
+# Wall seconds per logical second for the live engines under test; small
+# enough to keep the matrix fast, large enough that barrier/arrival
+# jitter stays far inside the plans' scheduled gaps.
+_TEST_TIME_SCALE = 0.05
 
-def per_sender(deliveries):
-    """Collapse a receiver's delivery log to {sender: [payloads]}."""
-    out = {}
-    for sender, payload in deliveries:
-        out.setdefault(sender, []).append(payload)
-    return out
-
-
-# ------------------------------------------------------------- flat group
+_references = {}
 
 
-def run_flat_scenario(runtime):
-    """Four members, traffic in all three orderings, staggered senders.
-
-    Returns (final views, {receiver: {sender: [payloads]}}, sanitizer
-    counters).  The runtime is closed by the caller.
-    """
-    env = Environment(latency=FixedLatency(0.002), runtime=runtime)
-    _nodes, members = build_group(env, "g", 4)
-    sanitizer = install_sanitizer(members)
-
-    logs = {m.me: [] for m in members}
-
-    def record(me):
-        return lambda event: logs[me].append((event.sender, event.payload))
-
-    for member in members:
-        member.add_delivery_listener(record(member.me))
-
-    # Each sender's burst is FIFO-ordered by the protocol, so its
-    # sequence is engine-independent even though bursts interleave.
-    traffic = [
-        (0.10, members[0], FIFO, ("f0", "f1", "f2")),
-        (0.15, members[1], CAUSAL, ("c0", "c1")),
-        (0.20, members[2], TOTAL, ("t0", "t1")),
-        (0.25, members[3], FIFO, ("g0", "g1")),
-    ]
-    for start, member, ordering, payloads in traffic:
-        def burst(member=member, ordering=ordering, payloads=payloads):
-            for payload in payloads:
-                member.multicast(payload, ordering)
-        env.scheduler.after(start, burst)
-
-    env.run_for(2.0)
-    counters = sanitizer.check(at_quiescence=True)
-    views = {m.me: m.members for m in members}
-    return views, {me: per_sender(log) for me, log in logs.items()}, counters
+def reference_for(name):
+    """Sim-engine outcome for a scenario plan, computed once per run."""
+    if name not in _references:
+        _references[name] = run_reference(make_scenario(name))
+    return _references[name]
 
 
-def test_flat_group_parity():
-    sim_views, sim_seqs, sim_counters = run_flat_scenario(SimRuntime(seed=7))
-
-    runtime = AsyncioRuntime(seed=7, time_scale=0.05)
+def run_on_asyncio(scenario):
+    """The identical plan in one wall-clock Environment."""
+    runtime = AsyncioRuntime(seed=scenario.seed, time_scale=_TEST_TIME_SCALE)
     try:
-        live_views, live_seqs, live_counters = run_flat_scenario(runtime)
+        env = Environment(latency=LATENCY, runtime=runtime)
+        state = scenario.build(env, scenario.addresses())
+        env.run_for(scenario.duration)
+        return scenario.results(state)
     finally:
         runtime.close()
 
-    assert sim_views == live_views
-    assert set(sim_views) == {"g-0", "g-1", "g-2", "g-3"}
-    assert sim_seqs == live_seqs
-    # Every receiver saw every burst, in sender order.
-    for receiver, seqs in sim_seqs.items():
-        assert seqs["g-0"] == ["f0", "f1", "f2"], receiver
-        assert seqs["g-3"] == ["g0", "g1"], receiver
-    # Both engines actually tracked deliveries (sanitizer was live).
-    assert sim_counters["deliveries_checked"] > 0
-    assert live_counters["deliveries_checked"] > 0
+
+def run_on_socket(scenario):
+    """The identical plan as a three-node loopback UDP cluster."""
+    results, wire = LoopbackCluster(
+        scenario, nodes=3, time_scale=_TEST_TIME_SCALE
+    ).run()
+    # Parity must be earned over the wire, not via the local fast path.
+    assert wire["frames_received"] > 0, "no frames crossed the loopback"
+    assert wire["decode_errors"] == 0, wire
+    assert wire["encode_drops"] == 0, wire
+    return results
 
 
-# ---------------------------------------------------------- hierarchical
+_ENGINES = {"asyncio": run_on_asyncio, "socket": run_on_socket}
 
 
-def run_hier_scenario(runtime):
-    """A small hierarchical service: 2 leaders, 6 workers, leaf traffic.
-
-    Joins are staggered far apart (0.2 logical seconds) so placement —
-    which depends on the order the leader processes joins — is the same
-    under wall-clock arrival jitter as under the simulator.
-    """
-    env = Environment(latency=FixedLatency(0.002), runtime=runtime)
-    params = LargeGroupParams(resiliency=2, fanout=3)
-    leaders = build_leader_group(env, "svc", params)
-    contacts = tuple(r.node.address for r in leaders)
-    members = build_large_group(
-        env, "svc", 6, params, contacts, join_stagger=0.2
-    )
-    env.run_for(4.0)
-
-    placed = [m for m in members if m.is_member]
-    sanitizer = install_sanitizer(m.leaf_member for m in placed)
-
-    logs = {m.me: [] for m in placed}
-
-    def record(me):
-        return lambda event: logs[me].append((event.sender, event.payload))
-
-    for member in placed:
-        member.add_delivery_listener(record(member.me))
-
-    # One sender per leaf half: each burst fans out to that leaf only.
-    senders = [placed[0], placed[-1]]
-    for offset, sender in enumerate(senders):
-        def burst(sender=sender, offset=offset):
-            for i in range(3):
-                sender.leaf_multicast(f"{sender.me}/m{i}", FIFO)
-        env.scheduler.after(0.1 + 0.2 * offset, burst)
-
-    env.run_for(3.0)
-    counters = sanitizer.check(at_quiescence=True)
-    placement = {
-        m.me: (m.leaf_member.group, m.leaf_member.members) for m in placed
-    }
-    return placement, {me: per_sender(log) for me, log in logs.items()}, counters
+# ------------------------------------------------------ the parity matrix
 
 
-def test_hierarchical_parity():
-    sim_place, sim_seqs, sim_counters = run_hier_scenario(SimRuntime(seed=11))
+@pytest.mark.parametrize("engine", sorted(_ENGINES))
+@pytest.mark.parametrize("name", ["flat", "hier"])
+def test_engine_parity(name, engine):
+    scenario = make_scenario(name)
+    reference = reference_for(name)
+    live = _ENGINES[engine](scenario)
+    errors = scenario.check(reference, live)
+    assert not errors, "\n".join(errors)
+    # Both sides actually tracked deliveries (sanitizers were live).
+    assert reference["counters"]["deliveries_checked"] > 0
+    assert live["counters"]["deliveries_checked"] > 0
+    assert live["counters"].get("violations", 0) == 0
 
-    runtime = AsyncioRuntime(seed=11, time_scale=0.1)
-    try:
-        live_place, live_seqs, live_counters = run_hier_scenario(runtime)
-    finally:
-        runtime.close()
 
-    # All six workers were placed, identically, on both engines.
-    assert len(sim_place) == 6
-    assert sim_place == live_place
-    assert sim_seqs == live_seqs
-    # Each sender's leaf peers saw its burst in send order.
-    for placement, seqs in ((sim_place, sim_seqs), (live_place, live_seqs)):
-        for sender in (min(placement), max(placement)):
-            _leaf, peers = placement[sender]
-            expected = [f"{sender}/m{i}" for i in range(3)]
-            senders_burst = [
-                seqs[p].get(sender) for p in peers if p in seqs
-            ]
-            assert all(got == expected for got in senders_burst), sender
-    assert sim_counters["deliveries_checked"] > 0
-    assert live_counters["deliveries_checked"] > 0
+def test_flat_reference_content():
+    """The flat plan exercises what the matrix claims it does: all four
+    members in the final view and every burst delivered in send order."""
+    scenario = make_scenario("flat")
+    reference = reference_for("flat")
+    assert set(reference["views"]) == set(scenario.addresses())
+    for receiver, seqs in reference["seqs"].items():
+        assert seqs["g-0"] == ["g-0/m0", "g-0/m1", "g-0/m2"], receiver
+        assert seqs["g-3"] == ["g-3/m0", "g-3/m1"], receiver
+
+
+def test_hier_reference_content():
+    """The hier plan places every worker and both leaf bursts land on the
+    sender's own leaf peers in send order."""
+    scenario = make_scenario("hier")
+    reference = reference_for("hier")
+    placement = reference["placement"]
+    assert len(placement) == scenario.workers
+    assert all(slot is not None for slot in placement.values())
+    for sender in (scenario.worker_addresses()[0],
+                   scenario.worker_addresses()[-1]):
+        _leaf, peers = placement[sender]
+        expected = [f"{sender}/m{i}" for i in range(3)]
+        for peer in peers:
+            if peer in reference["seqs"]:
+                assert reference["seqs"][peer].get(sender) == expected, peer
 
 
 # ------------------------------------------------------ wall-clock smoke
+
+
+def _run_cli(args, timeout=60):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo_root, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro"] + args,
+        cwd=repo_root,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
 
 
 @pytest.mark.asyncio_smoke
 def test_live_demo_cli_smoke():
     """Tier-1 gate for `make smoke-asyncio`: the wall-clock hierarchical
     demo completes sanitizer-clean well inside the 60 s hard timeout."""
-    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.path.join(repo_root, "src") + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-    proc = subprocess.run(
-        [sys.executable, "-m", "repro", "live", "--workers", "6"],
-        cwd=repo_root,
-        env=env,
-        capture_output=True,
-        text=True,
-        timeout=60,
-    )
+    proc = _run_cli(["live", "--workers", "6"])
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "sanitizer-clean" in proc.stdout
+
+
+@pytest.mark.socket_smoke
+@pytest.mark.parametrize("scenario", ["flat", "hier"])
+def test_deploy_cli_smoke(scenario):
+    """Tier-1 gate for `make smoke-socket`: a real deployment — three OS
+    processes exchanging UDP wire frames — matches the sim reference and
+    reports itself sanitizer-clean inside the 60 s hard timeout."""
+    proc = _run_cli(["deploy", "--nodes", "3", "--scenario", scenario])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "sanitizer-clean" in proc.stdout
+    assert "0 decode errors" in proc.stdout
 
 
 # ------------------------------------------------- sim adapter is exact

@@ -60,6 +60,14 @@ def _context_for(path: str) -> LintContext:
         allow_sim_import=package in ("sim", "runtime"),
         # RL010 boundary: only the transport constructs its own acks.
         allow_segment_ack=package == "transport",
+        # RL015 boundary: raw sockets and byte-level serialization are
+        # confined to the wire codec, the socket backend and the deploy
+        # control plane — one frame format, one place it is written.
+        allow_wire_serialization=(
+            "/net/wire/" in posix
+            or posix.endswith("runtime/socket_backend.py")
+            or package == "deploy"
+        ),
     )
 
 

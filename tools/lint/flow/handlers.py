@@ -17,9 +17,10 @@ This pass extracts:
   ...)`` call whose first argument resolves to a project class;
 * **wire sends**: every ``.send`` / ``.multicast`` / ``.send_many`` call
   whose receiver types as a wire endpoint (``Process`` subclass, the
-  ``Network``, or the ``ReliableTransport``) — by the symbol table's
-  attribute/parameter types first, by conventional receiver names
-  (``process``, ``node``, ``transport``, ``network``) second — and
+  ``Network``, the ``ReliableTransport``, or the deploy tracker's
+  ``ControlEndpoint``) — by the symbol table's attribute/parameter types
+  first, by conventional receiver names (``process``, ``node``,
+  ``transport``, ``network``, ``endpoint``) second — and
   resolves the payload expression to a class through locals, parameter
   annotations and module constants;
 * **constructions**: every resolvable constructor call, anywhere.
@@ -67,8 +68,12 @@ _WIRE_RECEIVER_NAMES = {
     "_network",
     "transport",
     "_transport",
+    # The deploy tracker's UDP control plane registers and dispatches by
+    # payload class exactly like Process — its kinds join the census.
+    "endpoint",
+    "_endpoint",
 }
-_WIRE_CLASS_NAMES = {"Process", "Network", "ReliableTransport"}
+_WIRE_CLASS_NAMES = {"Process", "Network", "ReliableTransport", "ControlEndpoint"}
 
 _SEND_METHODS = {"send", "multicast", "send_many"}
 

@@ -32,7 +32,12 @@ delivery digests):
 * the event-core hot loops must not let per-event allocations *escape*
   the iteration (RL011) — loop-local scratch that dies in place is fine,
   a closure handed to the scheduler or a container stored onto an
-  attribute is not.
+  attribute is not;
+* raw sockets and byte-level serializers are confined to the wire layer
+  (RL015) — only ``repro/net/wire/``, ``repro/runtime/
+  socket_backend.py`` and ``repro/deploy/`` may import ``socket`` /
+  ``struct`` / ``pickle`` / ``marshal`` / ``json``; anywhere else is a
+  second, unversioned wire format in the making.
 
 Beyond these per-file rules, ``tools/lint/flow`` adds three
 whole-program passes over a project-wide call graph (run with
@@ -91,6 +96,10 @@ class LintContext:
     # Event-core hot-loop files (scheduler, sharded scheduler, network):
     # RL011 polices per-event allocations inside their loops.
     hot_event_loop: bool = False
+    # repro/net/wire/, repro/runtime/socket_backend.py and repro/deploy/:
+    # the only homes of raw sockets and byte-level serialization (RL015
+    # boundary — everything else speaks payload objects and envelopes).
+    allow_wire_serialization: bool = False
 
 
 class Rule(ast.NodeVisitor):
@@ -580,6 +589,50 @@ class SegmentAckRule(Rule):
         self.generic_visit(node)
 
 
+#: Byte-level modules whose use outside the wire layer bypasses the
+#: versioned codec (RL015).  ``socket`` is the raw transport; the rest
+#: are serializers — a layer that pickles its own payloads onto the wire
+#: forks the frame format and breaks cross-version deployments.
+_WIRE_ONLY_MODULES = {"socket", "struct", "pickle", "marshal", "json"}
+
+
+class WireSerializationRule(Rule):
+    """RL015: raw sockets and serialization live under the wire layer.
+
+    The deployment backend promises one versioned frame format
+    (docs/deployment.md): every byte on the wire is produced by
+    ``repro.net.wire`` and carried by ``repro.runtime.socket_backend``
+    or the ``repro.deploy`` control plane.  Protocol code that imports
+    ``socket``/``struct``/``pickle``/``marshal``/``json`` is about to
+    invent a second wire format — undecodable by peers, invisible to
+    the codec's round-trip tests and version gate.
+    """
+
+    code = "RL015"
+    title = "raw socket/serialization use outside the wire layer"
+    hint = (
+        "send payload objects through the network and let repro.net.wire "
+        "encode them: only repro/net/wire/, repro/runtime/"
+        "socket_backend.py and repro/deploy/ may import socket or "
+        "byte-level serializers (socket, struct, pickle, marshal, json)"
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self.ctx.allow_wire_serialization:
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _WIRE_ONLY_MODULES:
+                    self.flag(node, f"import of '{alias.name}' outside the wire layer")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self.ctx.allow_wire_serialization and node.module:
+            root = node.module.split(".")[0]
+            if root in _WIRE_ONLY_MODULES:
+                self.flag(node, f"import from '{node.module}' outside the wire layer")
+        self.generic_visit(node)
+
+
 #: Callees that consume a container/closure in place: the argument dies
 #: inside the call, so nothing outlives the loop iteration.
 _SAFE_CONSUMERS = {
@@ -793,6 +846,7 @@ ALL_RULES = (
     SimImportRule,
     SegmentAckRule,
     HotLoopAllocationRule,
+    WireSerializationRule,
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -637,6 +637,61 @@ def run_comm_suite(quick: bool = False) -> Dict:
     return report
 
 
+def run_wire_suite(quick: bool = False) -> Dict:
+    """The ``--wire`` report: real-UDP wire cost of the socket backend.
+
+    Runs the hierarchical parity scenario (16 workers, or 6 under
+    ``--quick``) as a four-node loopback cluster — every cross-node
+    message a codec-encoded datagram — checks the outcome against the
+    sim reference, and records frames/bytes on the wire per delivery
+    checked (docs/deployment.md)."""
+    from repro.deploy.cluster import LoopbackCluster
+    from repro.deploy.scenarios import HierScenario, run_reference
+
+    workers = 6 if quick else 16
+    scenario = HierScenario(workers=workers)
+    print(f"  running hier workers={workers} on a 4-node loopback cluster ...",
+          flush=True)
+    start = time.perf_counter()
+    live, wire = LoopbackCluster(scenario, nodes=4, time_scale=0.1).run()
+    wall_s = time.perf_counter() - start
+    print("  running sim reference ...", flush=True)
+    reference = run_reference(scenario)
+    errors = scenario.check(reference, live)
+    deliveries = live.get("counters", {}).get("deliveries_checked", 0)
+    report: Dict = {
+        "benchmark": "bench_wire_deployment",
+        "scenario": {
+            "name": scenario.name,
+            "workers": workers,
+            "nodes": 4,
+            "logical_duration_s": scenario.duration,
+        },
+        "wire": wire,
+        "wall_s": round(wall_s, 3),
+        "deliveries_checked": deliveries,
+        "bytes_per_delivery": round(
+            wire["wire_bytes_sent"] / deliveries, 1
+        ) if deliveries else None,
+        "parity_errors": errors,
+    }
+    print(
+        f"    {wire['frames_sent']} frames / {wire['wire_bytes_sent']} bytes "
+        f"on the wire, {deliveries} deliveries checked"
+    )
+    if errors:
+        raise SystemExit(
+            f"perf_report: deployment diverged from the sim reference: {errors}"
+        )
+    if not wire.get("frames_received"):
+        raise SystemExit("perf_report: no frames crossed the loopback")
+    if wire.get("decode_errors"):
+        raise SystemExit(
+            f"perf_report: {wire['decode_errors']} wire decode errors"
+        )
+    return report
+
+
 def build_scenarios(quick: bool) -> Dict[str, Callable[[], Dict]]:
     if quick:
         return {
@@ -886,6 +941,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report (docs/comms.md) and write BENCH_comm.json",
     )
     parser.add_argument(
+        "--wire",
+        action="store_true",
+        help="instead of the core suite, run the hierarchical parity "
+        "scenario as a 4-node loopback UDP cluster and write the wire "
+        "frame/byte report to BENCH_wire.json (docs/deployment.md)",
+    )
+    parser.add_argument(
         "--guard",
         action="store_true",
         help="quick regression guard: rerun the guard scenarios and fail "
@@ -907,6 +969,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if argv is None:
             pin_hash_seed()
         return run_guard(args.out, update=args.update)
+
+    if args.wire:
+        if argv is None:
+            pin_hash_seed()
+        out = args.out if args.out != "BENCH_core.json" else "BENCH_wire.json"
+        print(f"perf_report: wire report quick={args.quick}")
+        report = run_wire_suite(args.quick)
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
+        return 0
 
     if args.comm:
         if argv is None:
