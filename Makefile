@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline analyze sanitize smoke-asyncio smoke-socket trace bench bench-report bench-guard bench-quick bench-tables bench-comm bench-wire perf-smoke clean
+.PHONY: test lint lint-baseline analyze sanitize smoke-asyncio smoke-socket trace bench bench-report bench-guard bench-quick bench-scale bench-tables bench-comm bench-wire perf-smoke clean
 
 ## Tier-1: unit + integration tests (includes the quick perf smoke and
 ## the backend smokes, markers: asyncio_smoke, socket_smoke).
@@ -72,6 +72,14 @@ bench-guard:
 ## Fast variant of the perf suite for local iteration (no JSON merge).
 bench-quick:
 	$(PYTHON) -m tools.perf_report --quick --label quick --out /dev/null
+
+## Scaling-curve report (docs/hierarchy.md): the load-driven recursive
+## hierarchy at n=1024/2048/4096 with heartbeats off — events/sec, tree
+## shape, reorg counts and routing-disruption windows per size, plus the
+## sanitized n=1024 acceptance run and the n=256 guard reference that
+## `make bench-guard` re-measures whenever BENCH_scale.json is present.
+bench-scale:
+	$(PYTHON) -m tools.perf_report --scale
 
 ## Wire-packing/piggyback report (docs/comms.md): packing on vs off over
 ## byte-identical hierarchical steady-state windows, the comms-off

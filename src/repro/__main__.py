@@ -261,7 +261,7 @@ def main(argv=None) -> int:
     )
     p_deploy.add_argument("--nodes", type=int, default=3)
     p_deploy.add_argument(
-        "--scenario", choices=("flat", "hier"), default="flat"
+        "--scenario", choices=("flat", "hier", "hier-reorg"), default="flat"
     )
     p_deploy.add_argument(
         "--size",

@@ -28,6 +28,7 @@ from repro.core.leader import (
     LeafProbe,
     MergeDirective,
     ReportLeafStatus,
+    ResolvePlacement,
     SplitDirective,
     build_leader_group,
     leader_group_name,
@@ -41,7 +42,7 @@ from repro.core.naming import (
     UnregisterName,
     build_name_service,
 )
-from repro.core.params import CommsParams, LargeGroupParams
+from repro.core.params import CommsParams, LargeGroupParams, ReorgPolicy
 from repro.core.router import ServiceRouter
 from repro.core.treecast import (
     TreeBroadcastRequest,
@@ -83,7 +84,9 @@ __all__ = [
     "ROOT_BRANCH",
     "RegisterName",
     "RemoveLeaf",
+    "ReorgPolicy",
     "ReportLeafStatus",
+    "ResolvePlacement",
     "ServiceRouter",
     "SplitCmd",
     "SplitDirective",

@@ -33,11 +33,18 @@ from repro.net.message import Address
 
 @dataclass
 class SplitCmd:
-    """abcast within a leaf: the listed movers depart to form a new leaf."""
+    """abcast within a leaf: the listed movers depart to form a new leaf.
+
+    ``level``/``parent_path`` carry the leader's level-tagged placement
+    through to the movers (the new leaf is a sibling: same level, same
+    branch chain above), so deep trees need no extra round trip.
+    """
 
     new_leaf_id: str
     new_group: str
     movers: Tuple[Address, ...]
+    level: int = 0
+    parent_path: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -46,6 +53,8 @@ class MergeCmd:
 
     target_group: str
     target_contacts: Tuple[Address, ...]
+    level: int = 0
+    target_path: Tuple[str, ...] = ()
 
 
 class LargeGroupMember:
@@ -58,6 +67,7 @@ class LargeGroupMember:
         leader_contacts: Tuple[Address, ...],
         assign_retry: float = 1.0,
         report_retry: float = 0.5,
+        params: Optional[LargeGroupParams] = None,
     ) -> None:
         if not leader_contacts:
             raise ValueError("need at least one leader contact")
@@ -66,6 +76,7 @@ class LargeGroupMember:
         self.leader_contacts = tuple(leader_contacts)
         self.assign_retry = assign_retry
         self.report_retry = report_retry
+        self.params = params if params is not None else LargeGroupParams()
 
         self.leaf_id: Optional[str] = None
         self.leaf_member: Optional[GroupMember] = None
@@ -75,12 +86,26 @@ class LargeGroupMember:
         self._joining = False
         self._moving = False  # split/merge transition in progress
         self.reorganisations = 0
+        # Level-tagged placement as learned from directives (0/() until
+        # the first reorganisation teaches us where we sit).
+        self.leaf_level = 0
+        self.leaf_path: Tuple[str, ...] = ()
+        # Load accounting (load-driven policy only): raw per-interval
+        # counters, turned into rate samples by the report tick; the
+        # leader folds the samples into its EWMAs.
+        self._deliveries = 0
+        self._requests = 0
+        self._last_delivery_rate = -1.0  # negative = no sample yet
+        self._last_request_rate = -1.0
+        self._tick_gen = 0  # invalidates stale tick timers across recovery
 
         runtime = node.runtime
         runtime.rpc.serve(LeafProbe, self._serve_probe)
         runtime.rpc.serve(SplitDirective, self._serve_split)
         runtime.rpc.serve(MergeDirective, self._serve_merge)
         node.add_recover_listener(self._after_recovery)
+        if self.params.reorg.load_driven:
+            self._arm_tick()
 
     def _after_recovery(self) -> None:
         """Fail-stop recovery: the old incarnation's leaf membership died
@@ -90,6 +115,43 @@ class LargeGroupMember:
         self.leaf_member = None
         self._joining = False
         self._moving = False
+        self.leaf_level = 0
+        self.leaf_path = ()
+        self._deliveries = 0
+        self._requests = 0
+        self._last_delivery_rate = -1.0
+        self._last_request_rate = -1.0
+        if self.params.reorg.load_driven:
+            self._arm_tick()
+
+    # ------------------------------------------------------------ load reports
+
+    def _arm_tick(self) -> None:
+        self._tick_gen += 1
+        gen = self._tick_gen
+        self.node.set_timer(
+            self.params.reorg.report_interval, lambda: self._load_tick(gen)
+        )
+
+    def _load_tick(self, gen: int) -> None:
+        """Per-interval load sampling: turn the raw counters into rate
+        samples and, when this process is the leaf coordinator, report
+        them to the leader (which folds them into its per-leaf EWMAs)."""
+        if gen != self._tick_gen or not self.node.alive:
+            return
+        interval = self.params.reorg.report_interval
+        self._last_delivery_rate = self._deliveries / interval
+        self._last_request_rate = self._requests / interval
+        self._deliveries = 0
+        self._requests = 0
+        if self.is_leaf_coordinator:
+            self._report_status()
+        self.node.set_timer(interval, lambda: self._load_tick(gen))
+
+    def note_request(self) -> None:
+        """Count one application-level request against this member's leaf
+        (servers call this as they serve; feeds the request-rate EWMA)."""
+        self._requests += 1
 
     # ------------------------------------------------------------------ public
 
@@ -233,6 +295,7 @@ class LargeGroupMember:
         if isinstance(payload, MergeCmd):
             self._execute_merge(payload)
             return
+        self._deliveries += 1
         for listener in list(self._delivery_listeners):
             listener(event)
 
@@ -252,11 +315,16 @@ class LargeGroupMember:
         if not self.is_leaf_coordinator or self.leaf_id is None:
             return
         view = self.leaf_member.view
+        load_driven = self.params.reorg.load_driven
         body = ReportLeafStatus(
             service=self.service,
             leaf_id=self.leaf_id,
             size=view.size,
             contacts=view.members[:8],
+            level=self.leaf_level,
+            path=self.leaf_path,
+            delivery_rate=self._last_delivery_rate if load_driven else -1.0,
+            request_rate=self._last_request_rate if load_driven else -1.0,
         )
         contacts = self.leader_contacts
         contact = contacts[attempt % len(contacts)]
@@ -301,11 +369,15 @@ class LargeGroupMember:
         movers = view.members[view.size - half :]
         if not movers:
             return ("too-small",)
+        self.leaf_level = body.level
+        self.leaf_path = tuple(body.parent_path)
         self.leaf_member.multicast(
             SplitCmd(
                 new_leaf_id=body.new_leaf_id,
                 new_group=body.new_group,
                 movers=movers,
+                level=body.level,
+                parent_path=tuple(body.parent_path),
             ),
             TOTAL,
         )
@@ -318,6 +390,8 @@ class LargeGroupMember:
             MergeCmd(
                 target_group=body.target_group,
                 target_contacts=tuple(body.target_contacts),
+                level=body.level,
+                target_path=tuple(body.target_path),
             ),
             TOTAL,
         )
@@ -325,9 +399,26 @@ class LargeGroupMember:
 
     # ----------------------------------------------------------- reorganisation
 
+    def _trace_reorg(self, name: str, **attrs) -> None:
+        """Guarded reorg span (repro.trace.api hook contract: zero cost
+        with tracing off)."""
+        trace = self.node.env.network.trace
+        if trace is not None:
+            trace.local(
+                name, category="reorg", process=self.me,
+                service=self.service, **attrs,
+            )
+
     def _execute_split(self, cmd: SplitCmd) -> None:
         self.reorganisations += 1
         old_member = self.leaf_member
+        if old_member.acting_coordinator() == self.me:
+            self._trace_reorg(
+                "reorg-split-start",
+                leaf_id=self.leaf_id,
+                new_leaf_id=cmd.new_leaf_id,
+                movers=len(cmd.movers),
+            )
         if self.me in cmd.movers:
             # Depart gracefully; once excluded, bootstrap the new leaf.
             old_member.mark_departing()
@@ -353,6 +444,15 @@ class LargeGroupMember:
         old_group = self.leaf_member.group if self.leaf_member else None
         if old_group is not None:
             self.node.runtime.forget_group(old_group)
+        # The new leaf is a sibling of the one it split from: same level,
+        # same branch chain above.
+        self.leaf_level = cmd.level
+        self.leaf_path = tuple(cmd.parent_path)
+        self._trace_reorg(
+            "reorg-state-handoff",
+            new_leaf_id=cmd.new_leaf_id,
+            level=cmd.level,
+        )
         member = self.node.runtime.create_group(cmd.new_group, list(cmd.movers))
         self._install_leaf(cmd.new_leaf_id, member)
 
@@ -363,6 +463,14 @@ class LargeGroupMember:
         old_member.mark_departing()
         self.node.runtime.forget_group(old_group)
         target_leaf_id = cmd.target_group.split("::", 1)[1]
+        # We migrate into the absorbing leaf's place in the tree.
+        self.leaf_level = cmd.level
+        self.leaf_path = tuple(cmd.target_path)
+        self._trace_reorg(
+            "reorg-state-handoff",
+            new_leaf_id=target_leaf_id,
+            level=cmd.level,
+        )
         contact = cmd.target_contacts[0] if cmd.target_contacts else None
         if contact is None:
             # No known target contact: fall back to a fresh assignment.
@@ -397,7 +505,7 @@ def build_large_group(
     members = []
     for i in range(size):
         node = GroupNode(env, f"{prefix}-{i}", **node_kwargs)
-        member = LargeGroupMember(node, service, leader_contacts)
+        member = LargeGroupMember(node, service, leader_contacts, params=params)
         members.append(member)
         env.scheduler.at(env.now + join_stagger * (i + 1), member.join)
     return members

@@ -58,12 +58,23 @@ class JoinLarge:
 
 @dataclass
 class ReportLeafStatus:
-    """A leaf coordinator reports its view after every leaf view change."""
+    """A leaf coordinator reports its view after every leaf view change
+    (and, in load-driven deployments, every report interval).
+
+    ``level``/``path`` echo the coordinator's placement as it learned it
+    from directives (telemetry; the replicated state's tree remains the
+    authority).  Negative rates mean "no load sample" — the size-only
+    deployments always send -1 and the leader never touches the EWMAs.
+    """
 
     service: str
     leaf_id: str
     size: int
     contacts: Tuple[Address, ...]
+    level: int = 0
+    path: Tuple[str, ...] = ()
+    delivery_rate: float = -1.0
+    request_rate: float = -1.0
 
 
 @dataclass
@@ -75,9 +86,21 @@ class GetLeafAssignment:
 
 @dataclass
 class GetHierarchyInfo:
-    """Introspection for tests, benchmarks and operators."""
+    """Introspection for tests, benchmarks and operators; ``subtree``
+    restricts the reply to one branch's recursive summary ("" = root)."""
 
     service: str
+    subtree: str = ""
+
+
+@dataclass
+class ResolvePlacement:
+    """A router asks which leaf is responsible for ``key`` (hierarchical
+    placement: the manager walks the tree; the router caches the result
+    until the reorg epoch moves)."""
+
+    service: str
+    key: str
 
 
 @dataclass
@@ -120,6 +143,15 @@ class LeaderReplica:
         self.state = HierarchyState(service, params)
         self.events: List[Tuple[str, Any]] = []
         self.is_manager = False
+        # Structural version of the tree: bumps on every applied op that
+        # adds or removes a leaf (split, merge, total failure).  Routers
+        # cache per-key placements against this and drop them when it
+        # moves — the "invalidate on reorg" half of hierarchical routing.
+        self.reorg_epoch = 0
+        # Reorganisation telemetry (manager-side): directive times and
+        # the routing-disruption window each reorg caused.  Kept apart
+        # from ``events`` so the protocol log stays stable for tests.
+        self.reorg_log: List[Dict[str, Any]] = []
 
         self._leaf_counter = 0
         self._creating: Dict[str, Address] = {}  # leaf_id -> designated creator
@@ -128,6 +160,12 @@ class LeaderReplica:
         self._watched: Set[Address] = set()
         self._coordinator_of: Dict[Address, str] = {}
         self._assign_cursor = 0
+        # Load-driven reorg bookkeeping: where a split-born leaf should
+        # attach, when each leaf last reorganised (cooldown), and when
+        # each in-flight split started (for the disruption window).
+        self._pending_parent: Dict[str, str] = {}
+        self._last_reorg: Dict[str, float] = {}
+        self._split_started: Dict[str, float] = {}
 
         runtime = node.runtime
         self.member = runtime.create_group(
@@ -139,6 +177,7 @@ class LeaderReplica:
         runtime.rpc.serve(ReportLeafStatus, self._serve_report)
         runtime.rpc.serve(GetLeafAssignment, self._serve_assignment)
         runtime.rpc.serve(GetHierarchyInfo, self._serve_info)
+        runtime.rpc.serve(ResolvePlacement, self._serve_placement)
         runtime.detector.add_listener(self._on_suspect)
         self._refresh_role()
 
@@ -188,10 +227,13 @@ class LeaderReplica:
             self.events.append(("op-skipped", payload.op))
             return
         self.events.append(("op", payload.op))
+        if isinstance(payload.op, (AddLeaf, RemoveLeaf)):
+            self.reorg_epoch += 1
         if isinstance(payload.op, (AddLeaf, UpdateLeaf)):
             self._inflight[payload.op.leaf_id] = 0
             self._creating.pop(payload.op.leaf_id, None)
             self._directed.discard(payload.op.leaf_id)
+            self._note_routable(payload.op.leaf_id)
         if isinstance(payload.op, RemoveLeaf):
             self._inflight.pop(payload.op.leaf_id, None)
             self._creating.pop(payload.op.leaf_id, None)
@@ -199,6 +241,30 @@ class LeaderReplica:
         if self.is_manager:
             self._rewatch_coordinators()
             self._check_thresholds()
+
+    def _note_routable(self, leaf_id: str) -> None:
+        """A split's disruption window closes when the new leaf becomes
+        routable: its summary now carries contacts, so joins, placements
+        and directives can reach it again."""
+        started = self._split_started.get(leaf_id)
+        if started is None:
+            return
+        leaf = self.state.leaves.get(leaf_id)
+        if leaf is None or not leaf.contacts:
+            return
+        del self._split_started[leaf_id]
+        now = self.node.env.now
+        self.reorg_log.append(
+            {
+                "t": now,
+                "event": "routing-converged",
+                "leaf": leaf_id,
+                "window": now - started,
+            }
+        )
+        self._trace_event(
+            "reorg-routing-converged", leaf_id=leaf_id, window=now - started
+        )
 
     def _trace_event(self, name: str, **attrs) -> None:
         """Record a manager decision as a local trace span (no-op when
@@ -279,12 +345,18 @@ class LeaderReplica:
                 leaf_id=body.leaf_id,
                 size=body.size,
                 contacts=tuple(body.contacts),
+                delivery_rate=body.delivery_rate,
+                request_rate=body.request_rate,
             )
             if body.leaf_id in self.state.leaves
             else AddLeaf(
                 leaf_id=body.leaf_id,
                 size=body.size,
                 contacts=tuple(body.contacts),
+                # A split-born leaf attaches under its parent's branch so
+                # the tree deepens where the load is; "" keeps the
+                # canonical placement (size mode, or fresh leaves).
+                under=self._pending_parent.pop(body.leaf_id, ""),
             )
         )
         return ("ok",)
@@ -310,61 +382,151 @@ class LeaderReplica:
         )
 
     def _serve_info(self, body: GetHierarchyInfo, sender: Address):
-        return {
-            "leaves": {
-                leaf_id: {"size": leaf.size, "contacts": list(leaf.contacts)}
-                for leaf_id, leaf in self.state.leaves.items()
-            },
-            "total_size": self.state.total_size,
-            "depth": self.state.depth(),
-            "branches": len(self.state.branches),
-            "max_branch_children": self.state.max_branch_children(),
-            "storage_entries": self.state.storage_entries(),
-        }
+        # True recursive shape: per-leaf level/path/load, per-level leaf
+        # counts, depth of the whole tree (or of ``subtree``).
+        info = self.state.summary(getattr(body, "subtree", ""))
+        info["reorg_epoch"] = self.reorg_epoch
+        return info
+
+    def _serve_placement(self, body: ResolvePlacement, sender: Address):
+        if not self.is_manager:
+            return ("redirect", self.member.acting_coordinator())
+        leaf_id = self.state.place_key(body.key)
+        if leaf_id is None or leaf_id not in self.state.leaves:
+            raise RpcError(f"service {self.service} has no placement yet")
+        leaf = self.state.leaves[leaf_id]
+        if not leaf.contacts:
+            raise RpcError(f"leaf {leaf_id} not routable yet")
+        return (
+            "placement",
+            self.reorg_epoch,
+            list(self.state.path_to(leaf_id)),
+            leaf_group_name(self.service, leaf_id),
+            leaf.contacts,
+        )
 
     # ----------------------------------------------------- split / merge policy
 
     def _check_thresholds(self) -> None:
+        policy = self.params.reorg
+        # Size rails first (the frozen policy, byte-identical by default).
         for leaf in self.state.leaves_needing_split():
             if leaf.leaf_id in self._directed or not leaf.contacts:
                 continue
-            self._directed.add(leaf.leaf_id)
-            new_leaf_id = self._new_leaf_id()
-            self._creating[new_leaf_id] = leaf.contacts[0]
-            self.events.append(("split-directed", leaf.leaf_id, new_leaf_id))
-            self._trace_event(
-                "split-directed", leaf_id=leaf.leaf_id, new_leaf_id=new_leaf_id
-            )
-            self._send_directive(
-                leaf.contacts,
-                SplitDirective(
-                    service=self.service,
-                    leaf_id=leaf.leaf_id,
-                    new_leaf_id=new_leaf_id,
-                    new_group=leaf_group_name(self.service, new_leaf_id),
-                ),
-            )
+            self._direct_split(leaf, "size")
+        if policy.load_driven:
+            now = self.node.env.now
+            # A leaf whose smoothed load crossed a hot threshold splits
+            # even while comfortably sized (soft-capped: splits pause
+            # once overflow has already driven the tree to max_depth).
+            if self.state.depth() < policy.max_depth:
+                for leaf in self.state.hot_leaves(policy):
+                    if leaf.leaf_id in self._directed or not leaf.contacts:
+                        continue
+                    if leaf.size < 2 or not self._cooled(leaf.leaf_id, now):
+                        continue
+                    self._direct_split(leaf, "hot")
+            # Two cold *siblings* merge back together (load mode pairs
+            # within a branch; the size rail below still catches
+            # undersized leaves anywhere).
+            for absorbed, target in self.state.cold_sibling_pairs(policy):
+                if (
+                    absorbed.leaf_id in self._directed
+                    or target.leaf_id in self._directed
+                ):
+                    continue
+                if not absorbed.contacts or not target.contacts:
+                    continue
+                if not (
+                    self._cooled(absorbed.leaf_id, now)
+                    and self._cooled(target.leaf_id, now)
+                ):
+                    continue
+                self._direct_merge(absorbed, target, "cold")
         for leaf in self.state.leaves_needing_merge():
             if leaf.leaf_id in self._directed or not leaf.contacts:
                 continue
             target = self.state.merge_target_for(leaf.leaf_id)
             if target is None or not target.contacts:
                 continue
-            self._directed.add(leaf.leaf_id)
-            self.events.append(("merge-directed", leaf.leaf_id, target.leaf_id))
-            self._trace_event(
-                "merge-directed", leaf_id=leaf.leaf_id, target=target.leaf_id
-            )
-            self._send_directive(
-                leaf.contacts,
-                MergeDirective(
-                    service=self.service,
-                    leaf_id=leaf.leaf_id,
-                    target_group=leaf_group_name(self.service, target.leaf_id),
-                    target_contacts=target.contacts,
-                ),
-            )
-            self._propose(RemoveLeaf(leaf_id=leaf.leaf_id))
+            self._direct_merge(leaf, target, "size")
+
+    def _cooled(self, leaf_id: str, now: float) -> bool:
+        last = self._last_reorg.get(leaf_id)
+        return last is None or now - last >= self.params.reorg.cooldown
+
+    def _direct_split(self, leaf, reason: str) -> None:
+        self._directed.add(leaf.leaf_id)
+        new_leaf_id = self._new_leaf_id()
+        self._creating[new_leaf_id] = leaf.contacts[0]
+        now = self.node.env.now
+        parent_path = self.state.path_to(leaf.leaf_id)
+        if self.params.reorg.load_driven:
+            if parent_path:
+                self._pending_parent[new_leaf_id] = parent_path[-1]
+            self._last_reorg[leaf.leaf_id] = now
+            self._last_reorg[new_leaf_id] = now
+        self._split_started[new_leaf_id] = now
+        self.reorg_log.append(
+            {
+                "t": now,
+                "event": "split-directed",
+                "leaf": leaf.leaf_id,
+                "new": new_leaf_id,
+                "reason": reason,
+            }
+        )
+        self.events.append(("split-directed", leaf.leaf_id, new_leaf_id))
+        self._trace_event(
+            "split-directed",
+            leaf_id=leaf.leaf_id,
+            new_leaf_id=new_leaf_id,
+            reason=reason,
+        )
+        self._send_directive(
+            leaf.contacts,
+            SplitDirective(
+                service=self.service,
+                leaf_id=leaf.leaf_id,
+                new_leaf_id=new_leaf_id,
+                new_group=leaf_group_name(self.service, new_leaf_id),
+                level=self.state.level_of(leaf.leaf_id),
+                parent_path=parent_path,
+            ),
+        )
+
+    def _direct_merge(self, leaf, target, reason: str) -> None:
+        self._directed.add(leaf.leaf_id)
+        now = self.node.env.now
+        if self.params.reorg.load_driven:
+            self._last_reorg[leaf.leaf_id] = now
+            self._last_reorg[target.leaf_id] = now
+        self.reorg_log.append(
+            {
+                "t": now,
+                "event": "merge-directed",
+                "leaf": leaf.leaf_id,
+                "target": target.leaf_id,
+                "reason": reason,
+            }
+        )
+        self.events.append(("merge-directed", leaf.leaf_id, target.leaf_id))
+        self._trace_event(
+            "merge-directed", leaf_id=leaf.leaf_id, target=target.leaf_id,
+            reason=reason,
+        )
+        self._send_directive(
+            leaf.contacts,
+            MergeDirective(
+                service=self.service,
+                leaf_id=leaf.leaf_id,
+                target_group=leaf_group_name(self.service, target.leaf_id),
+                target_contacts=target.contacts,
+                level=self.state.level_of(target.leaf_id),
+                target_path=self.state.path_to(target.leaf_id),
+            ),
+        )
+        self._propose(RemoveLeaf(leaf_id=leaf.leaf_id))
 
     def _send_directive(self, contacts: Tuple[Address, ...], body: Any) -> None:
         """RPC a directive to the first live leaf contact (failover)."""
@@ -454,6 +616,11 @@ class SplitDirective:
     leaf_id: str
     new_leaf_id: str
     new_group: str
+    # Level-tagged placement (recursive trees): the splitting leaf's tree
+    # level and the branch chain above it — the new leaf attaches beside
+    # it, so movers learn their place without another round trip.
+    level: int = 0
+    parent_path: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -462,6 +629,9 @@ class MergeDirective:
     leaf_id: str
     target_group: str
     target_contacts: Tuple[Address, ...] = ()
+    # Placement of the absorbing leaf (level-tagged, like SplitDirective).
+    level: int = 0
+    target_path: Tuple[str, ...] = ()
 
 
 def build_leader_group(

@@ -116,6 +116,48 @@ class NameClient:
     def invalidate(self, name: str) -> None:
         self._cache.pop(name, None)
 
+    def invalidate_prefix(self, prefix: str) -> None:
+        """Drop every cached name at or under ``prefix`` (a service and
+        its per-level subgroup names: ``svc``, ``svc/leader``,
+        ``svc/b3``...).  Called when a reorg moves a whole subtree."""
+        stale = [
+            name
+            for name in self._cache
+            if name == prefix or name.startswith(prefix + "/")
+        ]
+        for name in stale:
+            del self._cache[name]
+
+    def resolve_hierarchical(
+        self,
+        name: str,
+        on_result: Callable[[Optional[Tuple[Address, ...]]], None],
+        use_cache: bool = True,
+        timeout: float = 0.5,
+    ) -> None:
+        """Resolve a hierarchical name with longest-prefix fallback.
+
+        Deep-tree names (``svc/b3/b7``) usually aren't registered — only
+        the service root is.  Try the full name first, then strip one
+        ``/``-component at a time; a hit is cached under the *queried*
+        name so the next resolve of the same deep name is local."""
+
+        def attempt(candidate: str) -> None:
+            def done(contacts: Optional[Tuple[Address, ...]]) -> None:
+                if contacts is not None:
+                    if candidate != name:
+                        self._cache[name] = contacts
+                    on_result(contacts)
+                    return
+                if "/" not in candidate:
+                    on_result(None)
+                    return
+                attempt(candidate.rsplit("/", 1)[0])
+
+            self.resolve(candidate, done, use_cache=use_cache, timeout=timeout)
+
+        attempt(name)
+
     def _try(self, name, index, on_result, timeout) -> None:
         if index >= len(self._servers):
             on_result(None)

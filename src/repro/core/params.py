@@ -28,6 +28,77 @@ from repro.net.packer import CommsParams  # noqa: F401
 
 
 @dataclass(frozen=True)
+class ReorgPolicy:
+    """When and why the leader reorganises the tree.
+
+    ``mode="size"`` (the frozen default) is the original membership-count
+    policy: a leaf splits only when it outgrows the split threshold and
+    merges only when it shrinks below the floor, and the branch tree is
+    the canonical bottom-up packing of the sorted leaf-id set.
+
+    ``mode="load"`` makes reorganisation *load-driven*: leaf coordinators
+    report delivery-rate and request-rate EWMAs every
+    ``report_interval`` seconds, a leaf whose smoothed rates exceed the
+    hot thresholds splits even while comfortably sized, two *sibling*
+    leaves that are both cold merge back together, and new leaves attach
+    under their parent's branch so the tree deepens where the load is —
+    the recursive self-organising shape sVIRGO argues for.  Size bounds
+    stay on as safety rails (an oversized leaf still splits, an
+    undersized one still merges).
+    """
+
+    mode: str = "size"  # "size" | "load"
+    # EWMA smoothing for the per-leaf rates: rate' = alpha*sample +
+    # (1-alpha)*rate, sampled once per report interval.
+    ewma_alpha: float = 0.4
+    # A leaf is *hot* when either smoothed rate crosses its threshold
+    # (deliveries resp. application requests per second, leaf-wide).
+    hot_delivery_rate: float = 30.0
+    hot_request_rate: float = 20.0
+    # A leaf is *cold* below both of these; two cold siblings merge.
+    cold_delivery_rate: float = 2.0
+    cold_request_rate: float = 2.0
+    # Leaf coordinators report load this often (load mode only — in size
+    # mode reports ride on view changes exactly as before).
+    report_interval: float = 0.5
+    # Minimum sim-seconds between reorganisations touching one leaf:
+    # damps split/merge flapping while an EWMA settles.
+    cooldown: float = 3.0
+    # Hard cap on tree depth growth (root counts as one level).
+    max_depth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("size", "load"):
+            raise ValueError("mode must be 'size' or 'load'")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.hot_delivery_rate <= self.cold_delivery_rate:
+            raise ValueError("hot_delivery_rate must exceed cold_delivery_rate")
+        if self.hot_request_rate <= self.cold_request_rate:
+            raise ValueError("hot_request_rate must exceed cold_request_rate")
+        if self.report_interval <= 0.0:
+            raise ValueError("report_interval must be positive")
+        if self.cooldown < 0.0:
+            raise ValueError("cooldown must be nonnegative")
+        if self.max_depth < 2:
+            raise ValueError("max_depth must allow root + leaves")
+
+    @property
+    def load_driven(self) -> bool:
+        return self.mode == "load"
+
+    def describe(self) -> str:
+        if not self.load_driven:
+            return "reorg=size"
+        return (
+            f"reorg=load hot=[{self.hot_delivery_rate}d/"
+            f"{self.hot_request_rate}r] cold=[{self.cold_delivery_rate}d/"
+            f"{self.cold_request_rate}r] report={self.report_interval}s "
+            f"cooldown={self.cooldown}s"
+        )
+
+
+@dataclass(frozen=True)
 class LargeGroupParams:
     """Tuning knobs for one large group."""
 
@@ -41,6 +112,9 @@ class LargeGroupParams:
     split_factor: float = 2.0
     min_leaf_size: int = 0  # 0 means "use max(resiliency, fanout)"
     leader_size: int = 0  # 0 means "use resiliency"
+    # Split/merge decision policy; the default reproduces the size-only
+    # behaviour (and its frozen fingerprints) byte-for-byte.
+    reorg: ReorgPolicy = ReorgPolicy()
 
     def __post_init__(self) -> None:
         if self.resiliency < 1:
@@ -71,8 +145,11 @@ class LargeGroupParams:
         return self.leader_size if self.leader_size else self.resiliency
 
     def describe(self) -> str:
-        return (
+        base = (
             f"resiliency={self.resiliency} fanout={self.fanout} "
             f"leaf=[{self.leaf_min}..{self.leaf_split_threshold}] "
             f"leader={self.leader_group_size}"
         )
+        if self.reorg.load_driven:
+            base += f" {self.reorg.describe()}"
+        return base

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.leader import GetLeafAssignment
+from repro.core.leader import GetLeafAssignment, ResolvePlacement
 from repro.core.naming import NameClient
 from repro.net.message import Address
 from repro.proc.process import Process
@@ -44,6 +44,16 @@ class ServiceRouter:
         self._timeout = rpc_timeout
         self._assignment: Optional[Assignment] = None
         self.lookups = 0
+        # Hierarchical placement cache: key -> (leaf group, contacts),
+        # valid for one reorg epoch.  When a placement reply carries a
+        # newer epoch than the cache was filled under, the whole subtree
+        # placement is stale (a split or merge moved leaves) and is
+        # dropped — the "invalidate on reorg" contract.
+        self._placements: Dict[str, Assignment] = {}
+        self._placement_epoch: Optional[int] = None
+        self.placement_lookups = 0
+        self.placement_hits = 0
+        self.placement_invalidations = 0
 
     @property
     def rpc(self) -> Rpc:
@@ -53,9 +63,15 @@ class ServiceRouter:
     def cached_assignment(self) -> Optional[Assignment]:
         return self._assignment
 
+    @property
+    def cached_placements(self) -> Dict[str, Assignment]:
+        return dict(self._placements)
+
     def invalidate(self) -> None:
         """Drop the cached leaf (call after repeated request failures)."""
         self._assignment = None
+        self._placements.clear()
+        self._placement_epoch = None
         if self._name_client is not None:
             self._name_client.invalidate(self.service)
 
@@ -67,6 +83,24 @@ class ServiceRouter:
         self._resolve_leader(
             lambda contacts: self._ask_leader(contacts, 0, on_ready)
         )
+
+    def resolve_key(self, key: str, on_ready: AssignmentFn) -> None:
+        """Hierarchical placement: yield the (leaf group, contacts) the
+        tree walk assigns to ``key``.  The manager walks its replicated
+        tree once; this router caches the answer until a reply shows the
+        reorg epoch has moved."""
+        cached = self._placements.get(key)
+        if cached is not None:
+            self.placement_hits += 1
+            on_ready(cached)
+            return
+        self._resolve_leader(
+            lambda contacts: self._ask_placement(contacts, 0, key, on_ready)
+        )
+
+    def invalidate_key(self, key: str) -> None:
+        """Drop one cached placement (call after request failures on it)."""
+        self._placements.pop(key, None)
 
     # -- internals ----------------------------------------------------------------
 
@@ -123,3 +157,62 @@ class ServiceRouter:
             timeout=self._timeout,
             on_timeout=lambda: self._ask_leader(contacts, index + 1, on_ready),
         )
+
+    def _ask_placement(
+        self,
+        contacts: Tuple[Address, ...],
+        index: int,
+        key: str,
+        on_ready: AssignmentFn,
+    ) -> None:
+        if not contacts or index >= 3 * len(contacts):
+            on_ready(None)
+            return
+        self.placement_lookups += 1
+        contact = contacts[index % len(contacts)]
+
+        def reply(value, sender) -> None:
+            if value is None:
+                self._ask_placement(contacts, index + 1, key, on_ready)
+            elif value[0] == "redirect":
+                target = value[1]
+                new_contacts = (
+                    contacts if target in contacts else contacts + (target,)
+                )
+                self._ask_placement(
+                    new_contacts, new_contacts.index(target), key, on_ready
+                )
+            elif value[0] == "placement":
+                _, epoch, path, group, leaf_contacts = value
+                self._note_epoch(epoch)
+                placement = (group, tuple(leaf_contacts))
+                self._placements[key] = placement
+                trace = self._process.env.network.trace
+                if trace is not None:
+                    trace.local(
+                        "placement-resolved", category="routing",
+                        process=self._process.address,
+                        service=self.service, key=key, leaf_group=group,
+                        depth=len(path) + 1, epoch=epoch,
+                    )
+                on_ready(placement)
+            else:
+                self._ask_placement(contacts, index + 1, key, on_ready)
+
+        self._rpc.call(
+            contact,
+            ResolvePlacement(service=self.service, key=key),
+            on_reply=reply,
+            timeout=self._timeout,
+            on_timeout=lambda: self._ask_placement(
+                contacts, index + 1, key, on_ready
+            ),
+        )
+
+    def _note_epoch(self, epoch: int) -> None:
+        if self._placement_epoch is not None and epoch != self._placement_epoch:
+            # The tree changed shape since this cache was filled: every
+            # cached placement may now point at the wrong leaf.
+            self._placements.clear()
+            self.placement_invalidations += 1
+        self._placement_epoch = epoch

@@ -19,6 +19,7 @@ can replicate it with abcast and every replica stays identical.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -36,6 +37,11 @@ class LeafInfo:
     parent: str
     size: int
     contacts: Tuple[Address, ...]  # first <= resiliency members, rank order
+    # Smoothed load (EWMA, leaf-wide events/sec) from the coordinator's
+    # periodic reports; 0.0 until the first load report arrives (size-only
+    # deployments never report load, so these stay 0.0 there).
+    delivery_rate: float = 0.0
+    request_rate: float = 0.0
 
     @property
     def coordinator(self) -> Optional[Address]:
@@ -60,6 +66,10 @@ class AddLeaf:
     leaf_id: str
     size: int
     contacts: Tuple[Address, ...]
+    # Explicit attach point for the load-adaptive tree: the branch the new
+    # leaf goes under ("" = the canonical/derived placement).  Size-only
+    # deployments always send "" and keep the frozen derived shape.
+    under: str = ""
 
 
 @dataclass(frozen=True)
@@ -67,6 +77,10 @@ class UpdateLeaf:
     leaf_id: str
     size: int
     contacts: Tuple[Address, ...]
+    # Load-report piggyback: negative means "no load sample" (view-change
+    # reports in size mode), so frozen deployments never touch the rates.
+    delivery_rate: float = -1.0
+    request_rate: float = -1.0
 
 
 @dataclass(frozen=True)
@@ -99,6 +113,12 @@ class HierarchyState:
         }
         self._branch_counter = 0
         self.applied_ops = 0
+        # Load-driven deployments keep an *explicit* tree: leaves attach
+        # under the branch named by the op and branches split/collapse
+        # incrementally (B-tree style), so depth grows where load lives.
+        # Size-only deployments re-derive the canonical packing after
+        # every op, exactly as before — byte-identical frozen behaviour.
+        self._explicit = params.reorg.load_driven
 
     # -- queries --------------------------------------------------------------------
 
@@ -189,33 +209,319 @@ class HierarchyState:
             out.extend(self.leaf_ids_under(child))
         return sorted(out)
 
+    def path_to(self, leaf_id: str) -> Tuple[str, ...]:
+        """Branch chain from the root down to ``leaf_id``'s parent,
+        inclusive — the leaf's *placement path* carried on level-tagged
+        directives and cached by routers."""
+        node = self.leaf(leaf_id).parent
+        path: List[str] = []
+        while node is not None:
+            path.append(node)
+            node = self.branches[node].parent
+        return tuple(reversed(path))
+
+    def level_of(self, node_id: str) -> int:
+        """Tree level, root = 1 (a leaf directly under the root is 2)."""
+        if node_id in self.leaves:
+            return len(self.path_to(node_id)) + 1
+        level = 1
+        node = self.branch(node_id).parent
+        while node is not None:
+            level += 1
+            node = self.branches[node].parent
+        return level
+
+    def leaves_per_level(self) -> Dict[int, int]:
+        """How many leaves sit at each tree level (the true recursive
+        shape — a load-adapted tree is ragged, unlike the canonical
+        packing)."""
+        counts: Dict[int, int] = {}
+        for leaf_id in self.leaves:
+            level = self.level_of(leaf_id)
+            counts[level] = counts.get(level, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def siblings_of(self, leaf_id: str) -> List[LeafInfo]:
+        """Other leaves sharing ``leaf_id``'s parent branch (sorted)."""
+        leaf = self.leaf(leaf_id)
+        return [
+            self.leaves[c]
+            for c in sorted(self.branches[leaf.parent].children)
+            if c != leaf_id and c in self.leaves
+        ]
+
+    def summary(self, subtree: str = "") -> Dict:
+        """Recursive introspection dict (the ``GetHierarchyInfo`` reply):
+        true depth, per-level leaf counts, and per-leaf level/path/load
+        instead of the old flat two-level summary."""
+        root = subtree or ROOT_BRANCH
+        leaf_ids = (
+            self.leaf_ids_under(root)
+            if root in self.branches or root in self.leaves
+            else []
+        )
+        leaves = {}
+        for leaf_id in leaf_ids:
+            leaf = self.leaves[leaf_id]
+            leaves[leaf_id] = {
+                "size": leaf.size,
+                "contacts": list(leaf.contacts),
+                "level": self.level_of(leaf_id),
+                "path": list(self.path_to(leaf_id)),
+                "delivery_rate": round(leaf.delivery_rate, 6),
+                "request_rate": round(leaf.request_rate, 6),
+            }
+        return {
+            "leaves": leaves,
+            "total_size": sum(self.leaves[l].size for l in leaf_ids),
+            "depth": self.depth(),
+            "levels": self.leaves_per_level(),
+            "branches": len(self.branches),
+            "max_branch_children": self.max_branch_children(),
+            "storage_entries": self.storage_entries(),
+        }
+
+    def place_key(self, key: str) -> Optional[str]:
+        """Walk the tree from the root to the leaf responsible for
+        ``key``: at each branch, hash the key (salted with the level so
+        deep trees spread keys) against the sorted child list and
+        descend.  A pure function of (key, tree shape) — every replica
+        and every router resolves a key identically, and crc32 keeps it
+        independent of the process hash seed."""
+        if not self.leaves:
+            return None
+        node = ROOT_BRANCH
+        level = 0
+        while node in self.branches:
+            children = self.branches[node].children  # kept sorted
+            if not children:
+                return None
+            digest = zlib.crc32(f"{key}#{level}".encode("utf-8"))
+            node = children[digest % len(children)]
+            level += 1
+        return node
+
+    # -- load-policy queries ------------------------------------------------------
+
+    def hot_leaves(self, policy) -> List[LeafInfo]:
+        """Leaves whose smoothed load crosses a hot threshold (load-driven
+        splits; size splits remain a separate safety rail)."""
+        return sorted(
+            (
+                l
+                for l in self.leaves.values()
+                if l.delivery_rate >= policy.hot_delivery_rate
+                or l.request_rate >= policy.hot_request_rate
+            ),
+            key=lambda l: l.leaf_id,
+        )
+
+    def is_cold(self, leaf: LeafInfo, policy) -> bool:
+        return (
+            leaf.delivery_rate < policy.cold_delivery_rate
+            and leaf.request_rate < policy.cold_request_rate
+        )
+
+    def cold_sibling_pairs(self, policy) -> List[Tuple[LeafInfo, LeafInfo]]:
+        """(absorbed, target) pairs: a cold leaf and its smallest cold
+        sibling, where the combined size stays under the split threshold.
+        Each leaf appears in at most one pair, so one policy pass never
+        directs conflicting merges."""
+        pairs: List[Tuple[LeafInfo, LeafInfo]] = []
+        taken: set = set()
+        limit = self.params.leaf_split_threshold
+        for leaf_id in sorted(self.leaves):
+            leaf = self.leaves[leaf_id]
+            if leaf_id in taken or not self.is_cold(leaf, policy):
+                continue
+            candidates = [
+                s
+                for s in self.siblings_of(leaf_id)
+                if s.leaf_id not in taken
+                and self.is_cold(s, policy)
+                and leaf.size + s.size <= limit
+            ]
+            if not candidates:
+                continue
+            target = min(candidates, key=lambda s: (s.size, s.leaf_id))
+            pairs.append((leaf, target))
+            taken.add(leaf_id)
+            taken.add(target.leaf_id)
+        return pairs
+
     # -- mutation -------------------------------------------------------------------
 
     def apply(self, op: HierarchyOp) -> None:
-        """Apply one replicated op; re-derive the branch tree afterwards."""
+        """Apply one replicated op.
+
+        Size mode re-derives the canonical branch tree afterwards (frozen
+        behaviour); load mode mutates the explicit tree incrementally.
+        Either way the post-state is a deterministic function of the op
+        sequence, so replicas stay identical.
+        """
         if isinstance(op, AddLeaf):
             if op.leaf_id in self.leaves:
                 raise HierarchyError(f"duplicate leaf {op.leaf_id!r}")
             self.leaves[op.leaf_id] = LeafInfo(
                 leaf_id=op.leaf_id,
-                parent=ROOT_BRANCH,  # fixed up by _rebuild_tree
+                parent=ROOT_BRANCH,  # fixed up by _rebuild_tree / _attach
                 size=op.size,
                 contacts=tuple(op.contacts[: self.params.resiliency]),
             )
+            if self._explicit:
+                self._attach(op.leaf_id, op.under)
         elif isinstance(op, UpdateLeaf):
             leaf = self.leaf(op.leaf_id)
-            self.leaves[op.leaf_id] = replace(
+            updated = replace(
                 leaf,
                 size=op.size,
                 contacts=tuple(op.contacts[: self.params.resiliency]),
             )
+            if op.delivery_rate >= 0.0 or op.request_rate >= 0.0:
+                alpha = self.params.reorg.ewma_alpha
+                updated = replace(
+                    updated,
+                    delivery_rate=self._ewma(
+                        leaf.delivery_rate, op.delivery_rate, alpha
+                    ),
+                    request_rate=self._ewma(
+                        leaf.request_rate, op.request_rate, alpha
+                    ),
+                )
+            self.leaves[op.leaf_id] = updated
         elif isinstance(op, RemoveLeaf):
             self.leaf(op.leaf_id)  # raises if unknown
+            if self._explicit:
+                self._detach(op.leaf_id)
             del self.leaves[op.leaf_id]
         else:
             raise HierarchyError(f"unknown op {op!r}")
-        self._rebuild_tree()
+        if not self._explicit:
+            self._rebuild_tree()
         self.applied_ops += 1
+
+    @staticmethod
+    def _ewma(previous: float, sample: float, alpha: float) -> float:
+        if sample < 0.0:
+            return previous
+        return alpha * sample + (1.0 - alpha) * previous
+
+    # -- explicit (load-adaptive) tree maintenance --------------------------------
+
+    def _set_children(self, branch_id: str, children: Tuple[str, ...]) -> None:
+        node = self.branches[branch_id]
+        self.branches[branch_id] = replace(
+            node, children=tuple(sorted(children))
+        )
+
+    def _set_parent(self, node_id: str, parent: str) -> None:
+        if node_id in self.leaves:
+            self.leaves[node_id] = replace(self.leaves[node_id], parent=parent)
+        else:
+            self.branches[node_id] = replace(
+                self.branches[node_id], parent=parent
+            )
+
+    def _new_branch_id(self) -> str:
+        self._branch_counter += 1
+        return f"{self.name}/b{self._branch_counter}"
+
+    def _attach(self, node_id: str, under: str) -> None:
+        """Attach a node under ``under`` (falling back to the root when
+        the named branch is unknown — e.g. it collapsed while the op was
+        in flight), then split any branch the attach overflowed."""
+        branch_id = under if under in self.branches else ROOT_BRANCH
+        self._set_children(
+            branch_id, self.branches[branch_id].children + (node_id,)
+        )
+        self._set_parent(node_id, branch_id)
+        self._split_overflowed(branch_id)
+
+    def _split_overflowed(self, branch_id: str) -> None:
+        """B-tree style overflow: a branch with more than ``fanout``
+        children sheds its upper half into a new sibling (the *root*
+        instead grows a new level), recursing upward.  Every decision is
+        a function of sorted child ids — replicas agree."""
+        fanout = self.params.fanout
+        while True:
+            node = self.branches[branch_id]
+            if len(node.children) <= fanout:
+                return
+            children = tuple(sorted(node.children))
+            half = len(children) // 2
+            lower, upper = children[:half], children[half:]
+            if node.parent is None:  # root: grow one level
+                left, right = self._new_branch_id(), self._new_branch_id()
+                self.branches[left] = BranchInfo(left, branch_id, lower)
+                self.branches[right] = BranchInfo(right, branch_id, upper)
+                for child in lower:
+                    self._set_parent(child, left)
+                for child in upper:
+                    self._set_parent(child, right)
+                self._set_children(branch_id, (left, right))
+                return
+            sibling = self._new_branch_id()
+            self.branches[sibling] = BranchInfo(sibling, node.parent, upper)
+            for child in upper:
+                self._set_parent(child, sibling)
+            self._set_children(branch_id, lower)
+            parent_id = node.parent
+            self._set_children(
+                parent_id, self.branches[parent_id].children + (sibling,)
+            )
+            branch_id = parent_id  # the new sibling may overflow the parent
+
+    def _detach(self, leaf_id: str) -> None:
+        branch_id = self.leaves[leaf_id].parent
+        self._set_children(
+            branch_id,
+            tuple(c for c in self.branches[branch_id].children if c != leaf_id),
+        )
+        self._collapse(branch_id)
+
+    def _collapse(self, branch_id: str) -> None:
+        """Prune empty branches and hoist single children so merges
+        shrink the tree as deliberately as splits grow it."""
+        while branch_id is not None:
+            node = self.branches[branch_id]
+            if node.parent is None:  # the root
+                # A root with one *branch* child loses that level.
+                while True:
+                    children = self.branches[branch_id].children
+                    if len(children) == 1 and children[0] in self.branches:
+                        only = children[0]
+                        grandchildren = self.branches[only].children
+                        self._set_children(branch_id, grandchildren)
+                        for child in grandchildren:
+                            self._set_parent(child, branch_id)
+                        del self.branches[only]
+                    else:
+                        return
+            parent_id = node.parent
+            if not node.children:
+                self._set_children(
+                    parent_id,
+                    tuple(
+                        c
+                        for c in self.branches[parent_id].children
+                        if c != branch_id
+                    ),
+                )
+                del self.branches[branch_id]
+            elif len(node.children) == 1:
+                only = node.children[0]
+                self._set_children(
+                    parent_id,
+                    tuple(
+                        only if c == branch_id else c
+                        for c in self.branches[parent_id].children
+                    ),
+                )
+                self._set_parent(only, parent_id)
+                del self.branches[branch_id]
+            else:
+                return
+            branch_id = parent_id
 
     # -- branch-tree derivation ---------------------------------------------------
 

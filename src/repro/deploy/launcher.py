@@ -109,7 +109,7 @@ def run_deployment(
         context.Process(
             target=_node_main,
             args=(
-                scenario.name,
+                scenario_name,
                 size,
                 nodes,
                 time_scale,
@@ -170,7 +170,7 @@ def run_deployment(
             errors.append(f"{wire['decode_errors']} wire decode errors")
     return DeployOutcome(
         ok=not errors,
-        scenario=scenario.name,
+        scenario=scenario_name,
         nodes=nodes,
         errors=errors,
         reference=reference,

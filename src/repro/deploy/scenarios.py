@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.core import LargeGroupParams, build_leader_group
+from repro.core import LargeGroupParams, ReorgPolicy, build_leader_group
 from repro.core.hierarchy import LargeGroupMember
 from repro.membership import CAUSAL, FIFO, TOTAL
 from repro.membership.service import GroupNode
@@ -164,12 +164,25 @@ class HierScenario:
     service = "svc"
     join_stagger = 0.2
 
-    def __init__(self, workers: int = 6, seed: int = 11) -> None:
+    def __init__(
+        self,
+        workers: int = 6,
+        seed: int = 11,
+        reorg: Optional[ReorgPolicy] = None,
+    ) -> None:
         if workers < 2:
             raise ValueError("hier parity needs at least 2 workers")
         self.workers = workers
         self.seed = seed
-        self.params = LargeGroupParams(resiliency=2, fanout=3)
+        # The optional reorg knob: a load-driven policy turns on leaf
+        # load reporting and rate-triggered splits/merges on every
+        # engine this scenario runs on; the default stays the frozen
+        # size-only policy.
+        self.params = LargeGroupParams(
+            resiliency=2,
+            fanout=3,
+            reorg=reorg if reorg is not None else ReorgPolicy(),
+        )
 
     # -- plan ----------------------------------------------------------------
 
@@ -219,7 +232,9 @@ class HierScenario:
             if address not in local_set:
                 continue
             node = GroupNode(env, address)
-            member = LargeGroupMember(node, self.service, leader_addresses)
+            member = LargeGroupMember(
+                node, self.service, leader_addresses, params=self.params
+            )
             placed_members.append(member)
             state.members.append(member)
             member.add_delivery_listener(state._record(address))
@@ -288,12 +303,29 @@ class HierScenario:
 
 
 def make_scenario(name: str, size: Optional[int] = None):
-    """CLI/test factory: ``flat`` (group size) or ``hier`` (workers)."""
+    """CLI/test factory: ``flat`` (group size), ``hier`` (workers), or
+    ``hier-reorg`` (the same plan with a load-driven reorg policy — leaf
+    load reports and rate-triggered splits live on every engine)."""
     if name == "flat":
         return FlatScenario(members=size if size else 4)
     if name == "hier":
         return HierScenario(workers=size if size else 6)
-    raise ValueError(f"unknown scenario {name!r} (expected flat|hier)")
+    if name == "hier-reorg":
+        return HierScenario(
+            workers=size if size else 6,
+            reorg=ReorgPolicy(
+                mode="load",
+                report_interval=0.5,
+                cooldown=4.0,
+                hot_delivery_rate=10.0,
+                hot_request_rate=8.0,
+                cold_delivery_rate=0.5,
+                cold_request_rate=0.5,
+            ),
+        )
+    raise ValueError(
+        f"unknown scenario {name!r} (expected flat|hier|hier-reorg)"
+    )
 
 
 def merge_results(per_node: Iterable[Dict[str, Any]]) -> Dict[str, Any]:

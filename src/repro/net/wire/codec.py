@@ -40,7 +40,10 @@ from dataclasses import fields as dataclass_fields, is_dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 MAGIC = b"RW"
-WIRE_VERSION = 1
+# v2: recursive-hierarchy refactor extended the field lists of the
+# hierarchy kinds (level-tagged directives, load-rate reports, AddLeaf
+# attach points) and added ResolvePlacement (id 90).
+WIRE_VERSION = 2
 
 FRAME_DATA = 1
 FRAME_CONTROL = 2

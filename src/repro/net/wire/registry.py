@@ -25,6 +25,7 @@ from repro.core.leader import (
     LeafProbe,
     MergeDirective,
     ReportLeafStatus,
+    ResolvePlacement,
     SplitDirective,
 )
 from repro.core.naming import (
@@ -160,3 +161,11 @@ def ensure_registered() -> None:
     register_kind(82, RemoveLeaf)
     register_kind(83, LeafInfo)
     register_kind(84, BranchInfo)
+
+    # Recursive-hierarchy routing (90+).  The level-tagged fields grown
+    # by the PR 9 refactor (ReportLeafStatus level/path/rates,
+    # Split/MergeDirective + Split/MergeCmd levels and paths, AddLeaf
+    # ``under``, UpdateLeaf rates, GetHierarchyInfo ``subtree``) extend
+    # the field lists of already-registered kinds — ids stay put, and
+    # WIRE_VERSION bumped to 2 per the codec's evolution contract.
+    register_kind(90, ResolvePlacement)

@@ -21,8 +21,10 @@ Usage::
 
 from repro.trace.analysis import (
     CriticalPath,
+    ReorgWindow,
     TraceSummary,
     critical_path,
+    reorg_windows,
     summarize,
 )
 from repro.trace.api import TraceSink, attach, detach
@@ -44,6 +46,7 @@ __all__ = [
     "KIND_LOCAL",
     "KIND_SEND",
     "KINDS",
+    "ReorgWindow",
     "Span",
     "TraceCollector",
     "TraceSink",
@@ -52,6 +55,7 @@ __all__ = [
     "critical_path",
     "detach",
     "render_tree",
+    "reorg_windows",
     "summarize",
     "to_chrome_trace",
 ]

@@ -166,6 +166,93 @@ def test_router_static_contacts_and_invalidation():
     assert got[-1] is not None
 
 
+def test_resolve_hierarchical_falls_back_to_longest_prefix():
+    """Deep subtree names aren't registered — only the service root is;
+    resolution strips one path component at a time and caches the hit
+    under the queried deep name."""
+    env, servers = env_with_ns()
+    client = GroupNode(env, "c0")
+    client.runtime.rpc.call(
+        "ns-0", RegisterName(name="svc", contacts=("root",)), on_reply=lambda v, s: None
+    )
+    env.run_for(0.5)
+    nc = NameClient(client, client.runtime.rpc, ("ns-0", "ns-1", "ns-2"))
+    got = []
+    nc.resolve_hierarchical("svc/b3/b7", got.append)
+    env.run_for(3.0)
+    assert got == [("root",)]
+    # The prefix hit was cached under the deep name: with every server
+    # dead, the same query is still answered locally.
+    for server in servers:
+        server.crash()
+    nc.resolve_hierarchical("svc/b3/b7", got.append)
+    assert got[-1] == ("root",)
+
+
+def test_resolve_hierarchical_prefers_exact_match():
+    env, servers = env_with_ns()
+    client = GroupNode(env, "c0")
+    client.runtime.rpc.call(
+        "ns-0", RegisterName(name="svc", contacts=("root",)), on_reply=lambda v, s: None
+    )
+    client.runtime.rpc.call(
+        "ns-0",
+        RegisterName(name="svc/b3", contacts=("deep",)),
+        on_reply=lambda v, s: None,
+    )
+    env.run_for(0.5)
+    nc = NameClient(client, client.runtime.rpc, ("ns-0", "ns-1", "ns-2"))
+    got = []
+    nc.resolve_hierarchical("svc/b3", got.append)
+    env.run_for(2.0)
+    assert got == [("deep",)]
+
+
+def test_resolve_hierarchical_reports_unresolvable():
+    env, servers = env_with_ns()
+    client = GroupNode(env, "c0")
+    nc = NameClient(client, client.runtime.rpc, ("ns-0",))
+    got = []
+    nc.resolve_hierarchical("ghost/x/y", got.append)
+    env.run_for(5.0)
+    assert got == [None]
+
+
+def test_invalidate_prefix_drops_whole_subtree():
+    """A reorg that moves a subtree invalidates the service root and
+    every cached name under it — but not lookalike prefixes."""
+    env, servers = env_with_ns()
+    client = GroupNode(env, "c0")
+    for name in ("svc", "svc/b3", "svcetera"):
+        client.runtime.rpc.call(
+            "ns-0",
+            RegisterName(name=name, contacts=(name + "-c",)),
+            on_reply=lambda v, s: None,
+        )
+    env.run_for(0.5)
+    nc = NameClient(client, client.runtime.rpc, ("ns-0", "ns-1", "ns-2"))
+    got = []
+    for name in ("svc", "svc/b3", "svcetera"):
+        nc.resolve(name, got.append)
+    nc.resolve_hierarchical("svc/b3/b9", got.append)
+    env.run_for(3.0)
+    assert None not in got
+
+    nc.invalidate_prefix("svc")
+    # Behavioural check: with the servers dead, only names outside the
+    # invalidated subtree still resolve (from cache).
+    for server in servers:
+        server.crash()
+    hits = []
+    nc.resolve("svcetera", hits.append)
+    assert hits == [("svcetera-c",)]
+    misses = []
+    for name in ("svc", "svc/b3", "svc/b3/b9"):
+        nc.resolve(name, misses.append, timeout=0.2)
+    env.run_for(5.0)
+    assert misses == [None, None, None]
+
+
 def test_router_round_robins_across_leaves():
     env = Environment(seed=3, latency=FixedLatency(0.002))
     params = LargeGroupParams(resiliency=2, fanout=2)  # small leaves

@@ -102,7 +102,7 @@ _ENGINES = {"asyncio": run_on_asyncio, "socket": run_on_socket}
 
 
 @pytest.mark.parametrize("engine", sorted(_ENGINES))
-@pytest.mark.parametrize("name", ["flat", "hier"])
+@pytest.mark.parametrize("name", ["flat", "hier", "hier-reorg"])
 def test_engine_parity(name, engine):
     scenario = make_scenario(name)
     reference = reference_for(name)

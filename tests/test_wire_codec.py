@@ -256,6 +256,62 @@ def test_extreme_ints_round_trip():
         assert _round_trip(value) == value
 
 
+def test_level_tagged_hierarchy_payloads_round_trip():
+    """The recursive-hierarchy fields (wire v2): levels, branch paths,
+    load-rate samples and explicit attach points survive the wire with
+    non-default values."""
+    from repro.core.hierarchy import MergeCmd, SplitCmd
+    from repro.core.leader import (
+        GetHierarchyInfo,
+        MergeDirective,
+        ReportLeafStatus,
+        ResolvePlacement,
+        SplitDirective,
+    )
+    from repro.core.views import AddLeaf, UpdateLeaf
+
+    payloads = [
+        SplitDirective(
+            service="svc", leaf_id="leaf-a", new_leaf_id="leaf-b",
+            new_group="svc::leaf-b", level=3,
+            parent_path=("branch-root", "svc/b2", "svc/b7"),
+        ),
+        MergeDirective(
+            service="svc", leaf_id="leaf-a", target_group="svc::leaf-c",
+            target_contacts=("svc-w-0", "svc-w-1"), level=4,
+            target_path=("branch-root", "svc/b1"),
+        ),
+        SplitCmd(
+            new_leaf_id="leaf-b", new_group="svc::leaf-b",
+            movers=("svc-w-2",), level=3,
+            parent_path=("branch-root", "svc/b2"),
+        ),
+        MergeCmd(
+            target_group="svc::leaf-c", target_contacts=("svc-w-0",),
+            level=2, target_path=("branch-root",),
+        ),
+        ReportLeafStatus(
+            service="svc", leaf_id="leaf-a", size=9,
+            contacts=("svc-w-0",), level=3,
+            path=("branch-root", "svc/b2"),
+            delivery_rate=41.5, request_rate=12.25,
+        ),
+        AddLeaf(
+            leaf_id="leaf-b", size=4, contacts=("svc-w-2",),
+            under="svc/b2",
+        ),
+        UpdateLeaf(
+            leaf_id="leaf-a", size=9, contacts=("svc-w-0",),
+            delivery_rate=33.0, request_rate=0.5,
+        ),
+        GetHierarchyInfo(service="svc", subtree="svc/b2"),
+        ResolvePlacement(service="svc", key="orders/EU/1234"),
+    ]
+    for original in payloads:
+        decoded = _round_trip(original)
+        assert decoded == original, f"{type(original).__name__} diverged"
+
+
 def test_envelope_batch_round_trips():
     rng = SimRandom(7)
     envelopes = [
@@ -447,4 +503,7 @@ def test_wire_ids_are_unique_and_stable():
     assert kinds[1].__name__ == "Segment"
     assert kinds[10].__name__ == "GroupData"
     assert kinds[64].__name__ == "NodeRegister"
-    assert WIRE_VERSION == 1
+    assert kinds[90].__name__ == "ResolvePlacement"
+    # v2: the recursive-hierarchy refactor evolved the hierarchy kinds'
+    # field lists (a format change even with ids unchanged).
+    assert WIRE_VERSION == 2

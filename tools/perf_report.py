@@ -42,6 +42,7 @@ Usage::
     PYTHONPATH=src python -m tools.perf_report --label optimized --merge
     PYTHONPATH=src python -m tools.perf_report --guard        # regression gate
     PYTHONPATH=src python -m tools.perf_report --guard --update  # new reference
+    PYTHONPATH=src python -m tools.perf_report --scale        # scaling curve
 
 ``--merge`` updates the existing JSON in place (keeping other labels) and
 recomputes baseline→optimized speedups when both are present.
@@ -692,6 +693,197 @@ def run_wire_suite(quick: bool = False) -> Dict:
     return report
 
 
+# -- scale report (BENCH_scale.json) -----------------------------------------
+
+# (n, timed sim seconds) for the full scaling sweep; the guard gate
+# re-measures only the quick size.
+SCALE_SIZES = ((1024, 3.0), (2048, 2.0), (4096, 1.0))
+SCALE_GUARD = (256, 1.5)
+
+
+def _scale_policy():
+    """The load-driven reorg policy every scale scenario runs under:
+    thresholds low enough that the in-window heat traffic (20 msgs/sec
+    per heated leaf) drives hot splits mid-measurement."""
+    from repro.core import ReorgPolicy
+
+    return ReorgPolicy(
+        mode="load",
+        report_interval=0.5,
+        cooldown=4.0,
+        ewma_alpha=0.5,
+        hot_delivery_rate=10.0,
+        hot_request_rate=8.0,
+        cold_delivery_rate=0.5,
+        cold_request_rate=0.5,
+    )
+
+
+def scenario_scale(
+    n: int, sim_s: float, seed: int = 19, sanitize: bool = False
+) -> Dict:
+    """The recursive hierarchy at scale under load-driven reorganisation.
+
+    Staggered joins grow a multi-level tree (fanout 8: n=1024 packs
+    ~64-128 leaves, depth >= 3), then the two highest-sorted leaves are
+    heated for the whole timed window so hot splits — and their routing
+    disruption — land inside the measurement.  Heartbeat detectors stay
+    off: at n=4096 the per-leaf ping matrices would multiply the event
+    count without touching the reorg machinery this scenario measures
+    (``hier_steady_n*`` keeps them on)."""
+    from repro.core import (
+        LargeGroupParams,
+        build_large_group,
+        build_leader_group,
+    )
+
+    params = LargeGroupParams(resiliency=3, fanout=8, reorg=_scale_policy())
+    env = Environment(seed=seed, latency=FixedLatency(0.002))
+    leaders = build_leader_group(env, "svc", params)
+    contacts = tuple(r.node.address for r in leaders)
+    stagger = 0.01
+    members = build_large_group(
+        env, "svc", n, params, contacts, join_stagger=stagger
+    )
+    env.run_for(6.0 + stagger * n)  # joins staggered, tree settles (untimed)
+    manager = next(r for r in leaders if r.is_manager)
+    placed = [m for m in members if m.is_member]
+
+    sanitizer = None
+    if sanitize:
+        from repro.metrics.sanitizer import VirtualSynchronySanitizer
+
+        sanitizer = VirtualSynchronySanitizer(strict=True)
+        for member in placed:
+            # Re-attach across splits/merges (the listener fires now and
+            # again on every later leaf change).
+            member.add_leaf_change_listener(sanitizer.attach)
+
+    # Heat the two highest-sorted leaves: split-born ids sort last, so a
+    # heated leaf keeps its offspring as siblings (the shape the cold
+    # rail later re-merges).  20/sec against the 10/sec hot threshold.
+    hot = sorted(manager.state.leaves)[-2:]
+    senders = [next(m for m in placed if m.leaf_id == leaf) for leaf in hot]
+    start = env.now
+    for sender in senders:
+        for i in range(int(sim_s / 0.05) - 1):
+            env.scheduler.at(
+                start + (i + 1) * 0.05,
+                # The sender may transiently be mid-move during its own
+                # leaf's split; skip the tick rather than raise.
+                lambda s=sender, i=i: s.is_member
+                and s.leaf_multicast(("tick", i)),
+            )
+
+    digest = DeliveryDigest(env.network)
+    mark = len(manager.reorg_log)
+    result = _timed_run(env, sim_s)
+    window = manager.reorg_log[mark:]
+    splits = [e for e in window if e["event"] == "split-directed"]
+    merges = [e for e in window if e["event"] == "merge-directed"]
+    disruptions = [
+        e["window"] for e in window if e["event"] == "routing-converged"
+    ]
+    result["placed"] = len(placed)
+    result["tree"] = {
+        "depth": manager.state.depth(),
+        "leaves": len(manager.state.leaves),
+        "leaves_per_level": {
+            str(level): count
+            for level, count in sorted(manager.state.leaves_per_level().items())
+        },
+    }
+    result["reorgs"] = {
+        "splits": len(splits),
+        "hot_splits": sum(1 for e in splits if e.get("reason") == "hot"),
+        "merges": len(merges),
+        "cold_merges": sum(1 for e in merges if e.get("reason") == "cold"),
+        "epoch": manager.reorg_epoch,
+    }
+    result["routing_disruption_s"] = {
+        "windows": len(disruptions),
+        "mean": round(sum(disruptions) / len(disruptions), 6)
+        if disruptions
+        else None,
+        "max": round(max(disruptions), 6) if disruptions else None,
+    }
+    result["fingerprint"] = _fingerprint(env, digest)
+    if sanitizer is not None:
+        result["sanitizer"] = {
+            "clean": not sanitizer.violations,
+            "deliveries_checked": sanitizer.deliveries_checked,
+        }
+    return result
+
+
+def run_scale_suite(quick: bool = False) -> Dict:
+    """The ``--scale`` report: the load-driven recursive hierarchy's
+    scaling curve (docs/hierarchy.md).  Per size: events/sec, tree shape,
+    reorg counts and routing-disruption windows; plus the quick-size
+    guard reference that ``--guard`` re-measures whenever
+    ``BENCH_scale.json`` is present."""
+    sizes = (SCALE_GUARD,) if quick else SCALE_SIZES
+    report: Dict = {
+        "benchmark": "bench_scale_hierarchy",
+        "params": "resiliency=3 fanout=8 " + _scale_policy().describe(),
+        "scenarios": {},
+    }
+    for n, sim_s in sizes:
+        name = f"scale_n{n}"
+        print(f"  running {name} ...", flush=True)
+        r = report["scenarios"][name] = scenario_scale(n, sim_s)
+        print(
+            f"    {r['events']} events in {r['wall_s']}s "
+            f"({r['events_per_sec']:,} events/sec), depth "
+            f"{r['tree']['depth']}, {r['reorgs']['splits']} splits / "
+            f"{r['reorgs']['merges']} merges in window"
+        )
+    if not quick:
+        # The acceptance run: n=1024 with the strict virtual-synchrony
+        # sanitizer attached end to end.  The sanitizer is observation-
+        # only, so this run's behaviour fingerprint must equal the
+        # unsanitized scale_n1024's (its events/sec is not comparable —
+        # every delivery pays the checking wrapper).
+        name = "scale_n1024_sanitized"
+        print(f"  running {name} ...", flush=True)
+        r = report["scenarios"][name] = scenario_scale(
+            1024, SCALE_SIZES[0][1], sanitize=True
+        )
+        clean = r["sanitizer"]["clean"]
+        identical = (
+            r["fingerprint"] == report["scenarios"]["scale_n1024"]["fingerprint"]
+        )
+        print(
+            f"    sanitizer clean: {clean} "
+            f"({r['sanitizer']['deliveries_checked']} deliveries checked), "
+            f"fingerprint identical to scale_n1024: {identical}"
+        )
+        if not clean:
+            raise SystemExit(
+                "perf_report: sanitizer violations at n=1024 under "
+                "load-driven reorg"
+            )
+        if not identical:
+            raise SystemExit(
+                "perf_report: sanitized n=1024 fingerprint diverged — the "
+                "sanitizer is not observation-only"
+            )
+    n, sim_s = SCALE_GUARD
+    guard_name = f"scale_n{n}"
+    guard_result = report["scenarios"].get(guard_name)
+    if guard_result is None:
+        print(f"  running {guard_name} (guard reference) ...", flush=True)
+        guard_result = scenario_scale(n, sim_s)
+    report["runs"] = {
+        "guard": {
+            "scenarios": {guard_name: guard_result},
+            "calibration_ops_per_sec": round(_calibrate()),
+            "quick": True,
+        }
+    }
+    return report
+
+
 def build_scenarios(quick: bool) -> Dict[str, Callable[[], Dict]]:
     if quick:
         return {
@@ -759,47 +951,15 @@ def _calibrate(target_s: float = 0.1, repeats: int = 3) -> float:
     return best
 
 
-def run_guard(out_path: str, update: bool) -> int:
-    """``--guard``: fail fast if the working tree regressed the core.
-
-    Runs the quick-size guard scenarios and compares them against the
-    ``guard`` reference label in ``BENCH_core.json``: every behaviour
-    fingerprint (delivery digest included) must be byte-identical, and
-    events/sec must stay within ``GUARD_EPS_FLOOR`` of the reference.
-    ``--guard --update`` records the current tree as the new reference
-    (done automatically by ``make bench-report``).
-    """
-    mode = "update" if update else "check"
-    print(f"perf_report: guard ({mode}) vs {out_path}")
-    scenarios = build_scenarios(quick=True)
-    results: Dict[str, Dict] = {}
-    for name in GUARD_SCENARIOS:
-        print(f"  running {name} (quick) ...", flush=True)
-        results[name] = scenarios[name]()
-    try:
-        with open(out_path) as fh:
-            report = json.load(fh)
-    except (OSError, ValueError):
-        report = {"benchmark": "bench_perf_core", "runs": {}}
-    if update:
-        report.setdefault("runs", {})["guard"] = {
-            "scenarios": results,
-            "quick": True,
-            "calibration_ops_per_sec": round(_calibrate()),
-        }
-        with open(out_path, "w") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"perf_report: guard reference updated in {out_path}")
-        return 0
-    guard_entry = report.get("runs", {}).get("guard", {})
-    reference = guard_entry.get("scenarios")
-    if not reference:
-        print(
-            f"perf_report: no guard reference in {out_path}; "
-            "run `python -m tools.perf_report --guard --update` first"
-        )
-        return 2
+def _guard_check(
+    results: Dict[str, Dict],
+    guard_entry: Dict,
+    scenario_fns: Dict[str, Callable[[], Dict]],
+) -> List[str]:
+    """Compare fresh guard measurements against one recorded reference
+    entry: fingerprints byte-identical, events/sec within the
+    machine-normalised floor.  Returns failure descriptions."""
+    reference = guard_entry.get("scenarios") or {}
     # Machine drift between recording and checking cancels out of the
     # speed floor via the calibration ratio (see _calibrate).
     ref_cal = guard_entry.get("calibration_ops_per_sec")
@@ -837,7 +997,7 @@ def run_guard(out_path: str, update: bool) -> int:
                 f"    {name}: {eps:,} events/sec below floor, "
                 f"re-measuring ({attempts}/3) ...", flush=True
             )
-            retry = scenarios[name]()
+            retry = scenario_fns[name]()
             if retry["fingerprint"] != expected["fingerprint"]:
                 failures.append(
                     f"{name}: behaviour fingerprint diverged on re-measure"
@@ -856,6 +1016,82 @@ def run_guard(out_path: str, update: bool) -> int:
         elif eps is not None:
             ratio = round(eps / ref_eps, 3) if ref_eps and eps else None
             print(f"    {name}: fingerprint identical, {ratio}x reference speed")
+    return failures
+
+
+def run_guard(
+    out_path: str, update: bool, scale_path: str = "BENCH_scale.json"
+) -> int:
+    """``--guard``: fail fast if the working tree regressed the core.
+
+    Runs the quick-size guard scenarios and compares them against the
+    ``guard`` reference label in ``BENCH_core.json``: every behaviour
+    fingerprint (delivery digest included) must be byte-identical, and
+    events/sec must stay within ``GUARD_EPS_FLOOR`` of the reference.
+    ``--guard --update`` records the current tree as the new reference
+    (done automatically by ``make bench-report``).
+
+    When ``BENCH_scale.json`` exists (``make bench-scale``), its own
+    quick-size guard entry rides the same gate — the scale reference
+    lives in that file, and ``BENCH_core.json`` is left untouched.
+    """
+    mode = "update" if update else "check"
+    print(f"perf_report: guard ({mode}) vs {out_path}")
+    scenarios = build_scenarios(quick=True)
+    results: Dict[str, Dict] = {}
+    for name in GUARD_SCENARIOS:
+        print(f"  running {name} (quick) ...", flush=True)
+        results[name] = scenarios[name]()
+    try:
+        with open(out_path) as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        report = {"benchmark": "bench_perf_core", "runs": {}}
+    try:
+        with open(scale_path) as fh:
+            scale_report = json.load(fh)
+    except (OSError, ValueError):
+        scale_report = None
+    scale_n, scale_sim_s = SCALE_GUARD
+    scale_name = f"scale_n{scale_n}"
+    scale_fns = {scale_name: lambda: scenario_scale(scale_n, scale_sim_s)}
+    if update:
+        report.setdefault("runs", {})["guard"] = {
+            "scenarios": results,
+            "quick": True,
+            "calibration_ops_per_sec": round(_calibrate()),
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"perf_report: guard reference updated in {out_path}")
+        if scale_report is not None:
+            print(f"  running {scale_name} (guard) ...", flush=True)
+            scale_report.setdefault("runs", {})["guard"] = {
+                "scenarios": {scale_name: scale_fns[scale_name]()},
+                "quick": True,
+                "calibration_ops_per_sec": round(_calibrate()),
+            }
+            with open(scale_path, "w") as fh:
+                json.dump(scale_report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"perf_report: guard reference updated in {scale_path}")
+        return 0
+    guard_entry = report.get("runs", {}).get("guard", {})
+    if not guard_entry.get("scenarios"):
+        print(
+            f"perf_report: no guard reference in {out_path}; "
+            "run `python -m tools.perf_report --guard --update` first"
+        )
+        return 2
+    failures = _guard_check(results, guard_entry, scenarios)
+    scale_entry = (
+        (scale_report or {}).get("runs", {}).get("guard", {})
+    )
+    if scale_entry.get("scenarios"):
+        print(f"  running {scale_name} (guard) ...", flush=True)
+        scale_results = {scale_name: scale_fns[scale_name]()}
+        failures += _guard_check(scale_results, scale_entry, scale_fns)
     if failures:
         for line in failures:
             print(f"perf_report: GUARD FAIL {line}")
@@ -948,6 +1184,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "frame/byte report to BENCH_wire.json (docs/deployment.md)",
     )
     parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="instead of the core suite, run the load-driven recursive "
+        "hierarchy at n=1024/2048/4096 (n=256 under --quick) and write "
+        "events/sec, reorg counts and routing-disruption windows to "
+        "BENCH_scale.json (docs/hierarchy.md)",
+    )
+    parser.add_argument(
         "--guard",
         action="store_true",
         help="quick regression guard: rerun the guard scenarios and fail "
@@ -969,6 +1213,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if argv is None:
             pin_hash_seed()
         return run_guard(args.out, update=args.update)
+
+    if args.scale:
+        if argv is None:
+            pin_hash_seed()
+        out = args.out if args.out != "BENCH_core.json" else "BENCH_scale.json"
+        print(f"perf_report: scale report quick={args.quick}")
+        report = run_scale_suite(args.quick)
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
+        return 0
 
     if args.wire:
         if argv is None:
