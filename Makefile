@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-baseline analyze sanitize smoke-asyncio smoke-socket trace bench bench-report bench-guard bench-quick bench-scale bench-tables bench-comm bench-wire perf-smoke clean
+.PHONY: test lint lint-baseline analyze sanitize smoke-asyncio smoke-socket trace bench bench-report bench-guard bench-quick bench-scale bench-claims bench-tables bench-comm bench-wire bench-parallel perf-smoke clean
 
 ## Tier-1: unit + integration tests (includes the quick perf smoke and
 ## the backend smokes, markers: asyncio_smoke, socket_smoke).
@@ -50,8 +50,17 @@ trace:
 	$(PYTHON) -m tools.trace_report --out trace_demo.json
 
 ## Paper experiments + event-core perf scenarios under pytest-benchmark.
+## (The thousand-node claim tables take minutes each — run those with
+## `make bench-claims`.)
 bench:
-	$(PYTHON) -m pytest benchmarks -q --benchmark-only
+	$(PYTHON) -m pytest benchmarks -q --benchmark-only -m "not scale_claims"
+
+## E2/E3/E7 re-measured at n=1024 (bench_scale_claims.py — the flat
+## 1024-member reference group alone takes several minutes to
+## bootstrap).  Tables recorded in EXPERIMENTS.md "Claim tables at
+## n=1024".
+bench-claims:
+	$(PYTHON) -m pytest benchmarks/bench_scale_claims.py -q --benchmark-only -s -m scale_claims
 
 ## Wall-clock perf suite: re-measures the current tree and merges the
 ## numbers into BENCH_core.json next to the recorded baseline.  The
@@ -87,6 +96,17 @@ bench-scale:
 ## both engines.  Writes BENCH_comm.json.
 bench-comm:
 	$(PYTHON) -m tools.perf_report --comm
+
+## Multi-core parallel-engine report (docs/simulator.md, "Parallel
+## execution"): the statically placed hierarchy at n=2048 across
+## W ∈ {1,2,4} worker processes vs the serial sharded baseline —
+## digest parity at every W, per-worker CPU seconds and events/sec,
+## the sanitized parallel run, and the W=4 speedup gate (>= 2.5x;
+## wall-clock on a >= 5-core host, critical-path otherwise).  Writes
+## BENCH_para.json, whose guard fingerprints `make bench-guard`
+## re-checks whenever the file is present.
+bench-parallel:
+	$(PYTHON) -m tools.perf_report --parallel --out BENCH_para.json
 
 ## Real-UDP wire report (docs/deployment.md): the hierarchical parity
 ## scenario (16 workers) as a 4-node loopback cluster, frames/bytes on

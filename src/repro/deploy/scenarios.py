@@ -302,6 +302,467 @@ class HierScenario:
         return errors
 
 
+class SteadyHierScenario:
+    """Steady-state hierarchy under heartbeat monitoring: the parallel
+    engine's bench plan (tools/perf_report.py ``--parallel``).
+
+    Same shape as ``perf_report``'s ``hier_steady`` scenario — static
+    leaders, staggered worker joins, then a quiet settle after which the
+    only traffic is periodic (leaf heartbeats, gossip, leader reports) —
+    expressed as a deployment-style plan so the *same definition* runs
+    single-process, as a loopback cluster, or partitioned across the
+    conservative-window workers.  ``owners()`` partitions workers by
+    *predicted leaf*: a one-shot probe run of the join phase (periodic
+    traffic off — placement is load-independent in a fixed-latency DES)
+    reveals which leaf each worker lands in, and whole leaves are packed
+    onto partitions.  Leaf traffic (heartbeats, intra-leaf multicast)
+    dominates the steady state, so keeping each leaf on one partition is
+    the locality the window engine converts into parallel speedup.
+    """
+
+    name = "hier-steady"
+    service = "svc"
+
+    def __init__(
+        self,
+        workers: int = 256,
+        seed: int = 13,
+        join_stagger: float = 0.01,
+        sim_s: float = 3.0,
+        settle: float = 6.0,
+        heartbeat: Optional[float] = 0.1,
+        suspect_after: float = 1.0,
+        gossip_interval: Optional[float] = 0.5,
+        resiliency: int = 3,
+        fanout: int = 8,
+        latency_delay: float = 0.002,
+        sanitize: bool = False,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("hier-steady needs at least 2 workers")
+        self.workers = workers
+        self.seed = seed
+        self.join_stagger = join_stagger
+        self.sim_s = sim_s
+        self.settle = settle
+        self.heartbeat = heartbeat
+        self.suspect_after = suspect_after
+        self.gossip_interval = gossip_interval
+        self.sanitize = sanitize
+        self.params = LargeGroupParams(resiliency=resiliency, fanout=fanout)
+        # The latency model is part of the plan: its floor is the
+        # conservative window of a parallel run (repro.sim.parallel).
+        self.latency_delay = latency_delay
+        self.latency = FixedLatency(latency_delay)
+        self._leaf_groups: Optional[List[List[str]]] = None
+
+    # -- plan ----------------------------------------------------------------
+
+    @property
+    def settle_time(self) -> float:
+        """All joins done plus slack: the steady state starts here (and
+        so does the bench's measured window)."""
+        return self.join_stagger * self.workers + self.settle
+
+    @property
+    def duration(self) -> float:
+        return self.settle_time + self.sim_s
+
+    def leader_addresses(self) -> Tuple[str, ...]:
+        return tuple(
+            f"{self.service}-ldr-{i}"
+            for i in range(self.params.leader_group_size)
+        )
+
+    def worker_addresses(self) -> List[str]:
+        return [f"{self.service}-w-{i}" for i in range(self.workers)]
+
+    def addresses(self) -> List[str]:
+        return list(self.leader_addresses()) + self.worker_addresses()
+
+    def owners(self, nodes: int) -> Dict[str, int]:
+        """Leaders on partition 0; workers packed whole-leaf-at-a-time
+        into ``nodes`` roughly equal partitions.
+
+        Leaf membership is *not* contiguous in join order — once several
+        leaves exist the leaders balance later joiners across all of
+        them — so index-block partitioning would strand a third of each
+        leaf on foreign partitions and turn its heartbeats into
+        cross-partition traffic.  Instead :meth:`leaf_groups` predicts
+        the real placement and each leaf lands on exactly one partition.
+        """
+        owners = {address: 0 for address in self.leader_addresses()}
+        addresses = self.worker_addresses()
+        if nodes <= 1:
+            for address in addresses:
+                owners[address] = 0
+            return owners
+        total = len(addresses)
+        pid = 0
+        filled = 0
+        for members in self.leaf_groups():
+            if pid < nodes - 1 and filled >= (pid + 1) * total / nodes:
+                pid += 1
+            for address in members:
+                owners[address] = pid
+            filled += len(members)
+        return owners
+
+    def leaf_groups(self) -> List[List[str]]:
+        """Predicted leaf composition, one address list per leaf, ordered
+        by each leaf's earliest joiner.
+
+        Runs the join phase once with periodic traffic off (no
+        heartbeats, no gossip) and reads where every worker landed.  The
+        probe is exact, not a heuristic: assignment decisions depend only
+        on join RPC timing, which a fixed-latency DES keeps independent
+        of background load, so the quiet run places workers identically
+        to the monitored one.  Cached — the plan is computed once and
+        shipped to every partition worker.
+        """
+        if self._leaf_groups is not None:
+            return self._leaf_groups
+        from repro.proc.env import Environment
+        from repro.runtime.sim_backend import SimRuntime
+
+        probe = SteadyHierScenario(
+            workers=self.workers,
+            seed=self.seed,
+            join_stagger=self.join_stagger,
+            sim_s=0.0,
+            settle=self.settle,
+            heartbeat=None,
+            gossip_interval=None,
+            resiliency=self.params.resiliency,
+            fanout=self.params.fanout,
+            latency_delay=self.latency_delay,
+        )
+        env = Environment(
+            latency=probe.latency, runtime=SimRuntime(seed=probe.seed)
+        )
+        state = probe.build(env, probe.addresses())
+        env.scheduler.run(until=probe.settle_time)
+        leaves: Dict[Any, List[str]] = {}
+        strays: List[str] = []
+        for member in state.members:
+            if member.is_member:
+                leaves.setdefault(member.leaf_member.group, []).append(
+                    member.me
+                )
+            else:
+                strays.append(member.me)
+        self._leaf_groups = list(leaves.values())
+        self._leaf_groups.extend([address] for address in strays)
+        return self._leaf_groups
+
+    # -- execution -----------------------------------------------------------
+
+    def _detector(self):
+        if self.heartbeat is None:
+            return None
+        from repro.failure.detector import HeartbeatDetector
+
+        interval, suspect_after = self.heartbeat, self.suspect_after
+
+        def factory(node):
+            return HeartbeatDetector(
+                node, interval=interval, suspect_after=suspect_after
+            )
+
+        return factory
+
+    def build(self, env, local: Iterable[str]) -> _Slice:
+        local_set = set(local)
+        state = _Slice()
+        leader_addresses = self.leader_addresses()
+        detector = self._detector()
+        if local_set.intersection(leader_addresses):
+            if not local_set.issuperset(leader_addresses):
+                raise ValueError("the leader subgroup cannot be split")
+            build_leader_group(
+                env,
+                self.service,
+                self.params,
+                detector_factory=detector,
+                gossip_interval=self.gossip_interval,
+            )
+        placed_members: List[LargeGroupMember] = []
+        for i, address in enumerate(self.worker_addresses()):
+            if address not in local_set:
+                continue
+            node = GroupNode(
+                env,
+                address,
+                detector_factory=detector,
+                gossip_interval=self.gossip_interval,
+            )
+            member = LargeGroupMember(
+                node, self.service, leader_addresses, params=self.params
+            )
+            placed_members.append(member)
+            state.members.append(member)
+            env.scheduler.at(self.join_stagger * (i + 1), member.join)
+        if self.sanitize and placed_members:
+
+            def install():
+                state.sanitizer = install_sanitizer(
+                    m.leaf_member for m in placed_members if m.is_member
+                )
+
+            env.scheduler.at(self.settle_time, install)
+        return state
+
+    def results(self, state: _Slice) -> Dict[str, Any]:
+        return {
+            "placed": {m.me: bool(m.is_member) for m in state.members},
+            "counters": state.counters(),
+        }
+
+    # -- parity --------------------------------------------------------------
+
+    def check(self, reference: Dict, live: Dict) -> List[str]:
+        errors = []
+        unplaced = sorted(
+            me for me, ok in live.get("placed", {}).items() if not ok
+        )
+        if unplaced:
+            errors.append(f"workers never placed in a leaf: {unplaced}")
+        if len(live.get("placed", {})) != self.workers:
+            errors.append(
+                f"live run reported {len(live.get('placed', {}))}/"
+                f"{self.workers} workers"
+            )
+        return errors
+
+
+class StaticHierScenario:
+    """Statically placed hierarchy: the parallel engine's speedup bench.
+
+    Same steady-state traffic shape as :class:`SteadyHierScenario` —
+    all-to-all heartbeat monitoring inside each leaf, stability gossip,
+    a liveness link from every leaf coordinator to the leader tier —
+    but the leaves are bootstrapped from configuration
+    (``create_group``: the common-configuration-file start) instead of
+    leader-assigned.  Dynamic assignment balances late joiners across
+    every existing leaf, and under the windowed engine that balance is
+    partition-sensitive (injection order at the leaders shifts with the
+    owners map), so *no* static owners map can keep dynamically built
+    leaves partition-local.  Pinning placement is what a locality-aware
+    deployment does anyway — the paper's premise is precisely that
+    communicating processes belong on the same workstation — and it
+    makes whole-leaf locality a property of the plan: every leaf lives
+    on exactly one partition at any partition count, so the only
+    cross-partition traffic is the thin coordinator-to-leader tier.
+    """
+
+    name = "hier-static"
+    service = "svc"
+
+    def __init__(
+        self,
+        workers: int = 256,
+        leaf_size: int = 16,
+        seed: int = 17,
+        sim_s: float = 3.0,
+        settle: float = 2.0,
+        heartbeat: Optional[float] = 0.1,
+        suspect_after: float = 1.0,
+        gossip_interval: Optional[float] = 0.5,
+        multicast_interval: Optional[float] = 0.5,
+        leaders: int = 3,
+        latency_delay: float = 0.002,
+        sanitize: bool = False,
+    ) -> None:
+        if leaf_size < 2:
+            raise ValueError("leaves need at least 2 members")
+        if workers < leaf_size or workers % leaf_size:
+            raise ValueError(
+                f"workers ({workers}) must be a positive multiple of "
+                f"leaf_size ({leaf_size})"
+            )
+        self.workers = workers
+        self.leaf_size = leaf_size
+        self.seed = seed
+        self.sim_s = sim_s
+        self.settle = settle
+        self.heartbeat = heartbeat
+        self.suspect_after = suspect_after
+        self.gossip_interval = gossip_interval
+        self.multicast_interval = multicast_interval
+        self.leaders = leaders
+        self.sanitize = sanitize
+        self.latency_delay = latency_delay
+        self.latency = FixedLatency(latency_delay)
+
+    # -- plan ----------------------------------------------------------------
+
+    @property
+    def leaf_count(self) -> int:
+        return self.workers // self.leaf_size
+
+    @property
+    def settle_time(self) -> float:
+        return self.settle
+
+    @property
+    def duration(self) -> float:
+        return self.settle + self.sim_s
+
+    def leader_addresses(self) -> Tuple[str, ...]:
+        return tuple(f"{self.service}-ldr-{i}" for i in range(self.leaders))
+
+    def worker_addresses(self) -> List[str]:
+        return [f"{self.service}-w-{i}" for i in range(self.workers)]
+
+    def addresses(self) -> List[str]:
+        return list(self.leader_addresses()) + self.worker_addresses()
+
+    def leaf_block(self, leaf: int) -> List[str]:
+        base = leaf * self.leaf_size
+        return [
+            f"{self.service}-w-{i}"
+            for i in range(base, base + self.leaf_size)
+        ]
+
+    def owners(self, nodes: int) -> Dict[str, int]:
+        """Leaders on partition 0; whole leaves in contiguous blocks —
+        a leaf is never split, at any partition count."""
+        owners = {address: 0 for address in self.leader_addresses()}
+        count = self.leaf_count
+        for leaf in range(count):
+            pid = leaf * nodes // count
+            for address in self.leaf_block(leaf):
+                owners[address] = pid
+        return owners
+
+    # -- execution -----------------------------------------------------------
+
+    def _detector(self):
+        if self.heartbeat is None:
+            return None
+        from repro.failure.detector import HeartbeatDetector
+
+        interval, suspect_after = self.heartbeat, self.suspect_after
+
+        def factory(node):
+            return HeartbeatDetector(
+                node, interval=interval, suspect_after=suspect_after
+            )
+
+        return factory
+
+    def _start_multicast(self, env, node, member, leaf: int) -> None:
+        """Leaf-local ordered traffic: the coordinator multicasts a small
+        FIFO payload every ``multicast_interval``, staggered per leaf so
+        ticks don't burst on the same instant.  The traffic never leaves
+        the leaf, so it stays partition-local under any owners map — and
+        it gives the delivery sanitizer real ordered deliveries to
+        check."""
+        interval = self.multicast_interval
+        counter = [0]
+
+        def tick(member=member):
+            member.multicast(f"{member.group}/r{counter[0]}", FIFO)
+            counter[0] += 1
+
+        offset = interval * leaf / self.leaf_count
+        # The last tick lands well before the quiescence cut, so every
+        # multicast is fully delivered leaf-wide when the sanitizer's
+        # at-quiescence check (VS004) compares delivery sets.
+        t = interval + offset
+        while t < self.duration - 0.1:
+            env.scheduler.at(t, tick)
+            t += interval
+
+    def build(self, env, local: Iterable[str]) -> _Slice:
+        local_set = set(local)
+        state = _Slice()
+        detector = self._detector()
+        leader_addresses = self.leader_addresses()
+        if local_set.intersection(leader_addresses):
+            if not local_set.issuperset(leader_addresses):
+                raise ValueError("the leader subgroup cannot be split")
+            for address in leader_addresses:
+                node = GroupNode(
+                    env,
+                    address,
+                    detector_factory=detector,
+                    gossip_interval=self.gossip_interval,
+                )
+                state.members.append(
+                    node.runtime.create_group(
+                        f"{self.service}::leaders", list(leader_addresses)
+                    )
+                )
+        leaf_members = []
+        for leaf in range(self.leaf_count):
+            block = self.leaf_block(leaf)
+            present = [a for a in block if a in local_set]
+            if not present:
+                continue
+            if len(present) != len(block):
+                raise ValueError(
+                    f"leaf {leaf} split across nodes: "
+                    f"{len(present)}/{len(block)} local"
+                )
+            group = f"{self.service}::leaf-{leaf}"
+            for rank, address in enumerate(block):
+                node = GroupNode(
+                    env,
+                    address,
+                    detector_factory=detector,
+                    gossip_interval=self.gossip_interval,
+                )
+                member = node.runtime.create_group(group, list(block))
+                state.members.append(member)
+                leaf_members.append(member)
+                if rank == 0:
+                    if node.runtime.detector is not None:
+                        # The coordinator's liveness link to the leader
+                        # tier: the scenario's only cross-leaf traffic.
+                        node.runtime.detector.watch(
+                            leader_addresses[leaf % len(leader_addresses)]
+                        )
+                    if self.multicast_interval is not None:
+                        self._start_multicast(env, node, member, leaf)
+        if self.sanitize and leaf_members:
+
+            def install():
+                state.sanitizer = install_sanitizer(leaf_members)
+
+            env.scheduler.at(self.settle_time, install)
+        return state
+
+    def results(self, state: _Slice) -> Dict[str, Any]:
+        views = {
+            f"{member.group}|{member.me}": (
+                member.view.size if member.view is not None else 0
+            )
+            for member in state.members
+        }
+        return {"views": views, "counters": state.counters()}
+
+    # -- parity --------------------------------------------------------------
+
+    def check(self, reference: Dict, live: Dict) -> List[str]:
+        errors = []
+        views = live.get("views", {})
+        leaders_group = f"{self.service}::leaders"
+        for key, size in views.items():
+            group = key.split("|", 1)[0]
+            expected = (
+                self.leaders if group == leaders_group else self.leaf_size
+            )
+            if size != expected:
+                errors.append(f"{key}: view size {size} != {expected}")
+        expected_count = self.workers + self.leaders
+        if len(views) != expected_count:
+            errors.append(
+                f"live run reported {len(views)}/{expected_count} members"
+            )
+        return errors
+
+
 def make_scenario(name: str, size: Optional[int] = None):
     """CLI/test factory: ``flat`` (group size), ``hier`` (workers), or
     ``hier-reorg`` (the same plan with a load-driven reorg policy — leaf

@@ -1,0 +1,87 @@
+"""Cross-worker barrier frames for the parallel simulator (wire ids 91-95).
+
+The conservative-window engine (:mod:`repro.sim.parallel`) runs one
+worker process per partition block and exchanges cross-partition
+envelopes at deterministic window barriers.  Everything that crosses a
+worker boundary rides the PR-8 wire codec — the same append-only
+registry the UDP data plane uses — so a parallel run exercises exactly
+one serialization format:
+
+* :class:`WindowData` — one encoded data frame (``encode_data_frames``
+  output) of cross-partition envelopes, window-stamped and routed by
+  worker id.  The inner frame stays opaque bytes end-to-end: the hub
+  forwards it without decoding.
+* :class:`WindowDone` — a worker's barrier announcement: window ``j``
+  fully executed, ``sent`` data frames emitted.  Sent every window even
+  when ``sent == 0`` — the empty announcement *is* the null message of
+  the Chandy-Misra-Bryant protocol.
+* :class:`WindowGo` — the hub's release: all inbound frames for the
+  next window have been delivered, advance.
+* :class:`WorkerReport` — final per-worker outcome (per-partition
+  digests, counters, scenario result slices).
+* :class:`WorkerFault` — a worker-side failure with its traceback, so
+  a crash surfaces as a clean error instead of a barrier hang.
+
+Registered with the :mod:`repro.net.wire` codec at import, in the 91+
+id range reserved for parallel-engine control (the registry itself
+never imports this module, mirroring ``repro.deploy.messages``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.wire.codec import register_kind
+
+
+@dataclass
+class WindowData:
+    """One inner data frame of envelopes crossing worker boundaries."""
+
+    window: int
+    src_worker: int
+    dst_worker: int
+    frame: bytes = b""
+
+
+@dataclass
+class WindowDone:
+    """Barrier announcement: ``worker`` finished ``window``; ``sent``
+    :class:`WindowData` frames preceded this (zero is the null message)."""
+
+    window: int
+    worker: int
+    sent: int = 0
+
+
+@dataclass
+class WindowGo:
+    """Hub release: ``inbound`` frames delivered, enter the next window."""
+
+    window: int
+    inbound: int = 0
+
+
+@dataclass
+class WorkerReport:
+    """Final per-worker outcome payload (digests, stats, result slice)."""
+
+    worker: int
+    payload: Any = None
+
+
+@dataclass
+class WorkerFault:
+    """A worker-side exception: the window it died in plus a traceback."""
+
+    worker: int
+    window: int
+    error: str = ""
+
+
+register_kind(91, WindowData)
+register_kind(92, WindowDone)
+register_kind(93, WindowGo)
+register_kind(94, WorkerReport)
+register_kind(95, WorkerFault)

@@ -169,3 +169,7 @@ def ensure_registered() -> None:
     # the field lists of already-registered kinds — ids stay put, and
     # WIRE_VERSION bumped to 2 per the codec's evolution contract.
     register_kind(90, ResolvePlacement)
+
+    # 91-95 are the parallel-engine barrier frames (WindowData/Done/Go,
+    # WorkerReport, WorkerFault), registered by repro.net.wire.parallel
+    # on import — same layering as the deploy control plane above.

@@ -9,7 +9,11 @@ and ships two of them:
   with an in-memory asyncio message fabric;
 * :class:`SocketRuntime` — the asyncio engine with a UDP
   :class:`SocketFabric`: remote destinations (per its address book) go
-  over real sockets as :mod:`repro.net.wire` frames (docs/deployment.md).
+  over real sockets as :mod:`repro.net.wire` frames (docs/deployment.md);
+* :class:`ParallelRuntime` — one partition's slice of a conservative-
+  window multi-core run: a :class:`SimRuntime` whose
+  :class:`PartitionFabric` captures cross-partition envelopes for the
+  window barrier (:mod:`repro.sim.parallel`, docs/simulator.md).
 
 Everything above this layer (processes, network, transport, membership,
 broadcast, hierarchy, toolkit, workloads) is engine-agnostic; rule RL009
@@ -35,6 +39,7 @@ from repro.runtime.asyncio_backend import (
     AsyncioTimers,
     WallClockError,
 )
+from repro.runtime.parallel_backend import ParallelRuntime, PartitionFabric
 from repro.runtime.sim_backend import SimRuntime
 from repro.runtime.socket_backend import SocketFabric, SocketRuntime, run_cluster
 from repro.sim.rand import SimRandom
@@ -43,6 +48,8 @@ __all__ = [
     "AsyncioFabric",
     "AsyncioRuntime",
     "AsyncioTimers",
+    "ParallelRuntime",
+    "PartitionFabric",
     "SocketFabric",
     "SocketRuntime",
     "run_cluster",

@@ -37,10 +37,18 @@ class SimParams:
 
     shards: int = 1
     shard_key: Optional[Callable[[Any], int]] = None
+    # Declared cross-partition lookahead for the process-parallel engine
+    # (repro.sim.parallel): the conservative window between partition
+    # barriers.  ``None`` (default) derives it from the latency model's
+    # floor via repro.sim.sharded.cross_shard_lookahead; set explicitly
+    # to widen windows when the model's floor is pessimistically small.
+    lookahead: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.lookahead is not None and self.lookahead <= 0.0:
+            raise ValueError("lookahead must be positive when set")
 
     def make_scheduler(self):
         """Build the scheduler this parameter set describes."""

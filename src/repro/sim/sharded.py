@@ -48,6 +48,33 @@ from repro.sim.scheduler import (
 _INF = float("inf")
 
 
+def cross_shard_lookahead(latency, params=None) -> float:
+    """The conservative window between partitioned schedulers.
+
+    Any event one partition schedules onto another is a message, and a
+    message takes at least the latency model's floor to arrive — so a
+    partition that has executed up to ``T`` can safely run to ``T +
+    floor`` before looking at anyone else's outbox.  This is the same
+    lookahead argument the sharded run loop makes per burst, promoted to
+    a fixed window for the process-parallel engine
+    (:mod:`repro.sim.parallel`).
+
+    ``params.lookahead`` (:class:`~repro.sim.params.SimParams`) overrides
+    the derived floor — e.g. to widen windows for a latency model whose
+    floor is pessimistically small.  Raises :class:`SimulationError` when
+    no positive window exists (a zero-floor model has no conservative
+    lookahead; run single-process instead).
+    """
+    declared = getattr(params, "lookahead", None)
+    window = declared if declared is not None else latency.floor()
+    if not window or window <= 0.0:
+        raise SimulationError(
+            "no conservative lookahead: the latency model's floor is zero "
+            "and SimParams.lookahead is unset"
+        )
+    return window
+
+
 def default_shard_key(key: Any) -> int:
     """Stable locality hash: CRC32 of ``str(key)`` — identical across
     processes and hash seeds, so sharded runs replay from the seed alone."""
@@ -98,6 +125,27 @@ class ShardedScheduler(Scheduler):
         """How many shard bursts the run loop has started — the lower
         this is relative to events processed, the more locality paid off."""
         return self._switches
+
+    def shard_heap_sizes(self) -> List[int]:
+        """Raw per-shard heap lengths (incl. lazily cancelled entries) —
+        the skew probe: one hot shard means the locality key is not
+        spreading load."""
+        return [len(heap) for heap in self._heaps]
+
+    @property
+    def alloc_stats(self) -> Dict[str, int]:
+        """Fleet-wide free-list telemetry: the base counters (pools are
+        shared across shards, so fresh/pooled counts already aggregate)
+        plus the sharded run loop's own numbers, so ``perf_report``'s
+        ``alloc_stats`` probe reports the whole fleet instead of a
+        single-queue view."""
+        stats = Scheduler.alloc_stats.fget(self)
+        stats["shards"] = self._nshards
+        stats["shard_switches"] = self._switches
+        sizes = self.shard_heap_sizes()
+        stats["shard_heap_total"] = sum(sizes)
+        stats["shard_heap_max"] = max(sizes) if sizes else 0
+        return stats
 
     def _shard_of(self, key: Any) -> int:
         cache = self._shard_cache

@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 import repro.deploy.messages  # noqa: F401  -- registers control kinds 64-68
+import repro.net.wire.parallel  # noqa: F401  -- parallel-engine kinds 91-95
 from repro.clocks.vector import VectorClock
 from repro.core.treecast import LeafTarget, RelaySpec
 from repro.membership.events import GroupData
@@ -174,6 +175,10 @@ def _value_for(rng: SimRandom, type_str: str):
         }
     if type_str in ("str", "Address"):
         return _address(rng)
+    if type_str == "bytes":
+        return bytes(
+            rng.randint(0, 255) for _ in range(rng.randint(0, 64))
+        )
     if type_str == "int":
         return rng.randint(-(2**40), 2**40)
     if type_str == "float":
@@ -504,6 +509,8 @@ def test_wire_ids_are_unique_and_stable():
     assert kinds[10].__name__ == "GroupData"
     assert kinds[64].__name__ == "NodeRegister"
     assert kinds[90].__name__ == "ResolvePlacement"
+    assert kinds[91].__name__ == "WindowData"
+    assert kinds[95].__name__ == "WorkerFault"
     # v2: the recursive-hierarchy refactor evolved the hierarchy kinds'
     # field lists (a format change even with ids unchanged).
     assert WIRE_VERSION == 2
